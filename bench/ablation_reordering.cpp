@@ -1,0 +1,76 @@
+// Sections 6.3 and 7.1 — what particle reordering buys, serially and
+// under threads.  The paper reports serial gains of up to 30% (Sun, T3E)
+// and 50% (CPQ); for the OpenMP code 15-20% (Sun) and 45-65% (CPQ), where
+// it also improves *parallel* efficiency by easing cache-line contention.
+#include <sstream>
+
+#include "common.hpp"
+
+using namespace hdem;
+using namespace hdem::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchContext ctx;
+  declare_common_options(cli, ctx);
+  if (cli.finish()) return 0;
+  calibrate_platforms(ctx);
+
+  std::ostringstream out;
+  out << "== Ablation: particle reordering gains ==\n"
+         "   Speedup = t(random order) / t(cell order); the paper quotes\n"
+         "   \"performance increases of up to 30% (Sun, T3E) and 50% (CPQ)\"\n"
+         "   serially, and 15-20% (Sun) / 45-65% (CPQ) for the OpenMP code.\n\n";
+  Table t({"Platform", "mode", "D", "rc", "t random (s)", "t reordered (s)",
+           "speedup", "paper (same cell)"});
+  for (const auto& platform : {"Sun", "T3E", "CPQ"}) {
+    const auto& machine = ctx.machine(platform);
+    auto serial_time = [&](int D, double rcf, bool reorder) {
+      perf::MeasureSpec s;
+      s.D = D;
+      s.n = ctx.n_for(D);
+      s.rc_factor = rcf;
+      s.reorder = reorder;
+      s.mode = perf::MeasureSpec::Mode::kSerial;
+      s.iterations = ctx.iters;
+      return predict_paper_seconds(machine, perf::measure_run(s).run, 1);
+    };
+    for (auto [D, rcf] : {std::pair{2, 1.5}, {3, 1.5}}) {
+      const double sr = serial_time(D, rcf, false);
+      const double so = serial_time(D, rcf, true);
+      const double paper_speedup =
+          perf::paper_serial_seconds(platform, D, rcf, false) /
+          perf::paper_serial_seconds(platform, D, rcf, true);
+      t.add_row({platform, "serial", std::to_string(D), Table::num(rcf, 1),
+                 Table::num(sr, 2), Table::num(so, 2),
+                 Table::num(sr / so, 2) + "x",
+                 Table::num(paper_speedup, 2) + "x"});
+    }
+    if (platform == std::string("T3E")) continue;  // no threads on the T3E
+    // OpenMP (T = 4) gain: also improves *parallel* efficiency (less
+    // cache-line contention between threads).
+    auto smp_time = [&](bool reorder) {
+      perf::MeasureSpec s;
+      s.D = 3;
+      s.n = ctx.n_for(3);
+      s.rc_factor = 1.5;
+      s.reorder = reorder;
+      s.mode = perf::MeasureSpec::Mode::kSmp;
+      s.nthreads = 4;
+      s.reduction = ReductionKind::kSelectedAtomic;
+      s.iterations = ctx.iters;
+      return predict_paper_seconds(machine, perf::measure_run(s).run, 1);
+    };
+    const double tr = smp_time(false), to = smp_time(true);
+    t.add_row({platform, "OpenMP T=4", "3", "1.5", Table::num(tr, 2),
+               Table::num(to, 2), Table::num(tr / to, 2) + "x",
+               platform == std::string("CPQ") ? "1.45-1.65x" : "1.15-1.2x"});
+  }
+  out << t.render() << "\n";
+  out << "Mechanism (measured, not assumed): cell-order reordering collapses\n"
+      << "the link-gap histogram, cutting the modelled cache-miss\n"
+      << "probability; the CPQ gains more because its fitted memory-penalty\n"
+      << "share is larger.\n";
+  emit("ablation_reordering.txt", out.str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench follows the same recipe:
+//   1. measure the real instrumented simulation at a reduced system size,
+//   2. calibrate the serial kernel constants of the three paper platforms
+//      against Tables 1/2 (once; shared),
+//   3. ask the cost model for predicted per-iteration times at the paper's
+//      one-million-particle scale, and
+//   4. print the paper-style table + ASCII figure and save it under
+//      results/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perf/calibrate.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "perf/paper_data.hpp"
+#include "perf/report.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace hdem::bench {
+
+struct BenchContext {
+  std::uint64_t n2 = 48'000;   // particles for D = 2 measurements
+  std::uint64_t n3 = 64'000;   // particles for D = 3 measurements
+  std::uint64_t iters = 3;     // steady-state iterations per measurement
+  std::uint64_t calib_n = 30'000;
+  bool verbose = false;
+  perf::MachineSpec t3e, sun, cpq;
+  std::vector<perf::CalibrationResult> calibrations;  // T3E, Sun, CPQ
+
+  std::uint64_t n_for(int D) const { return D == 2 ? n2 : n3; }
+
+  const perf::MachineSpec& machine(const std::string& name) const {
+    if (name == "T3E") return t3e;
+    if (name == "Sun") return sun;
+    return cpq;
+  }
+};
+
+// Declare the common CLI options; call before cli.finish().
+inline void declare_common_options(Cli& cli, BenchContext& ctx) {
+  ctx.n2 = static_cast<std::uint64_t>(
+      cli.integer("n2", static_cast<std::int64_t>(ctx.n2),
+                  "particles for D=2 measurements"));
+  ctx.n3 = static_cast<std::uint64_t>(
+      cli.integer("n3", static_cast<std::int64_t>(ctx.n3),
+                  "particles for D=3 measurements"));
+  ctx.iters = static_cast<std::uint64_t>(
+      cli.integer("iters", static_cast<std::int64_t>(ctx.iters),
+                  "measured iterations per configuration"));
+  ctx.verbose = cli.flag("verbose", "print raw measurements");
+  if (cli.flag("full", "paper-scale measurements (1M particles; slow)")) {
+    ctx.n2 = 1'000'000;
+    ctx.n3 = 1'000'000;
+    ctx.calib_n = 250'000;
+  }
+}
+
+// Calibrate the three platforms' serial kernel constants against the
+// paper's Tables 1 and 2, from real serial runs of this library.
+inline void calibrate_platforms(BenchContext& ctx) {
+  std::vector<perf::RunMeasurement> runs;
+  for (bool reorder : {false, true}) {
+    for (auto [D, rcf] : {std::pair{2, 1.5}, {2, 2.0}, {3, 1.5}, {3, 2.0}}) {
+      perf::MeasureSpec s;
+      s.D = D;
+      s.n = ctx.calib_n;
+      s.rc_factor = rcf;
+      s.reorder = reorder;
+      s.mode = perf::MeasureSpec::Mode::kSerial;
+      s.iterations = ctx.iters;
+      runs.push_back(perf::measure_run(s).run);
+    }
+  }
+  ctx.calibrations.clear();
+  for (const auto& base :
+       {perf::t3e900(), perf::sun_hpc3500(), perf::compaq_es40_cluster()}) {
+    std::vector<perf::CalibrationObservation> obs;
+    for (const auto& r : runs) {
+      obs.push_back({r, perf::paper_serial_seconds(base.name, r.D,
+                                                   r.rc_factor, r.reordered)});
+    }
+    auto res = perf::calibrate(base, obs, perf::kPaperParticles);
+    if (base.name == "T3E") ctx.t3e = res.spec;
+    if (base.name == "Sun") ctx.sun = res.spec;
+    if (base.name == "CPQ") ctx.cpq = res.spec;
+    ctx.calibrations.push_back(std::move(res));
+  }
+}
+
+// Predicted per-iteration seconds on `machine` for `run`, extrapolated to
+// the paper's one-million-particle system.
+inline double predict_paper_seconds(const perf::MachineSpec& machine,
+                                    const perf::RunMeasurement& run,
+                                    int ranks_per_node) {
+  const auto layout =
+      perf::paper_scale_layout(run, ranks_per_node, perf::kPaperParticles);
+  return perf::CostModel::predict(machine, run, layout).total();
+}
+
+// How many MPI ranks share an SMP node on this machine for a pure
+// message-passing run that fills nodes before spilling to the next one.
+inline int mpi_ranks_per_node(const perf::MachineSpec& machine, int nprocs) {
+  return nprocs < machine.cpus_per_node ? nprocs : machine.cpus_per_node;
+}
+
+// Print to stdout and save the same content under results/<name>.
+inline void emit(const std::string& name, const std::string& content) {
+  std::fputs(content.c_str(), stdout);
+  std::fflush(stdout);
+  perf::save_artifact(name, content);
+}
+
+inline std::string calibration_report(const BenchContext& ctx) {
+  Table t({"platform", "t_pair(ns)", "t_pair3(ns)", "t_update(ns)",
+           "t_contact(ns)", "t_mem_l1(ns)", "t_mem(ns)", "mean|rel err|",
+           "max|rel err|"});
+  for (const auto& c : ctx.calibrations) {
+    t.add_row({c.spec.name, Table::num(c.spec.t_pair * 1e9, 1),
+               Table::num(c.spec.t_pair3 * 1e9, 1),
+               Table::num(c.spec.t_update * 1e9, 1),
+               Table::num(c.spec.t_contact * 1e9, 1),
+               Table::num(c.spec.t_mem_l1 * 1e9, 1),
+               Table::num(c.spec.t_mem * 1e9, 1),
+               Table::num(100 * c.mean_rel_error, 1) + "%",
+               Table::num(100 * c.max_rel_error, 1) + "%"});
+  }
+  return "Serial kernel constants fitted to the paper's Tables 1 & 2:\n" +
+         t.render() + "\n";
+}
+
+}  // namespace hdem::bench

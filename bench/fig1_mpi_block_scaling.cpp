@@ -1,0 +1,9 @@
+// Figure 1 — "Scaling of performance for MPI block distribution on P
+// processes using rc = 1.5 rmax", without particle reordering.
+#include "mpi_scaling.hpp"
+
+int main(int argc, char** argv) {
+  return hdem::bench::run_mpi_scaling_bench(
+      argc, argv, /*reorder=*/false, "fig1.txt",
+      "Fig 1: MPI block-distribution speedup vs P/P0 (random order, rc=1.5)");
+}

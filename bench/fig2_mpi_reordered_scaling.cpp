@@ -1,0 +1,9 @@
+// Figure 2 — "Scaling of MPI block distribution with particle reordering
+// using rc = 1.5 rmax".
+#include "mpi_scaling.hpp"
+
+int main(int argc, char** argv) {
+  return hdem::bench::run_mpi_scaling_bench(
+      argc, argv, /*reorder=*/true, "fig2.txt",
+      "Fig 2: MPI block-distribution speedup vs P/P0 (reordered, rc=1.5)");
+}

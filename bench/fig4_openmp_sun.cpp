@@ -1,0 +1,17 @@
+// Figure 4 — "Scaling of performance with number of threads T for OpenMP
+// code on the Sun, D = 3".  The KAI Guide system implements atomic updates
+// as software locks (very costly); array reductions saturate the node's
+// memory bandwidth.
+#include "openmp_scaling.hpp"
+
+int main(int argc, char** argv) {
+  return hdem::bench::run_openmp_scaling_bench(
+      argc, argv, "Sun", {1, 2, 4, 8}, "fig4.txt",
+      "Fig 4: OpenMP thread scaling on the Sun HPC 3500 (D=3, rc=1.5)",
+      "Paper shape checks:\n"
+      "  - atomic-all is by far the worst (software locks; the paper says\n"
+      "    ~an order of magnitude on 4 threads and does not plot it)\n"
+      "  - transpose does not scale well either (array reduction traffic\n"
+      "    saturates memory bandwidth)\n"
+      "  - selected-atomic is best but still limited by lock cost\n");
+}

@@ -1,0 +1,149 @@
+// Host-side kernel microbenchmarks (google-benchmark): regression tracking
+// for the hot paths — force loop over links, link generation, binning,
+// reordering, halo packing and the atomic accumulate.
+#include <benchmark/benchmark.h>
+
+#include "core/boundary.hpp"
+#include "core/cell_grid.hpp"
+#include "core/dynamics.hpp"
+#include "core/force_model.hpp"
+#include "core/init.hpp"
+#include "core/link_list.hpp"
+#include "mp/indexed.hpp"
+#include "smp/thread_team.hpp"
+
+namespace hdem {
+namespace {
+
+struct System {
+  SimConfig<3> cfg;
+  Boundary<3> bc;
+  ParticleStore<3> store;
+  CellGrid<3> grid;
+  LinkList list;
+
+  explicit System(std::uint64_t n, bool reorder) {
+    cfg.box = Vec<3>(SimConfig<3>::paper_box_edge(n));
+    cfg.reorder = reorder;
+    bc = Boundary<3>(cfg.bc, cfg.box);
+    for (const auto& p : uniform_random_particles(cfg, n)) {
+      store.push_back(p.pos, p.vel);
+    }
+    std::array<bool, 3> wrap{};
+    wrap.fill(true);
+    grid.configure(Vec<3>{}, cfg.box, cfg.cutoff(), wrap);
+    grid.bin(store.positions(), store.size());
+    if (reorder) {
+      store.apply_permutation(grid.order(), store.size());
+      grid.reset_order_to_identity();
+    }
+    rebuild_links();
+  }
+
+  void rebuild_links() {
+    auto disp = [this](const Vec<3>& a, const Vec<3>& b) {
+      return bc.displacement(a, b);
+    };
+    build_links(list, grid, store.cpositions(), store.size(), cfg.cutoff(),
+                disp);
+  }
+};
+
+void BM_ForceLoop(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), state.range(1) != 0);
+  const ElasticSphere model{sys.cfg.stiffness, sys.cfg.diameter};
+  auto disp = [&](const Vec<3>& a, const Vec<3>& b) {
+    return sys.bc.displacement(a, b);
+  };
+  for (auto _ : state) {
+    zero_forces(sys.store);
+    const double pe = accumulate_forces<3>(sys.list.core(), sys.store, model,
+                                           disp, true, 1.0);
+    benchmark::DoNotOptimize(pe);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.list.size()));
+  state.counters["links"] = static_cast<double>(sys.list.size());
+}
+BENCHMARK(BM_ForceLoop)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({100000, 1});
+
+void BM_LinkBuild(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), true);
+  for (auto _ : state) {
+    sys.rebuild_links();
+    benchmark::DoNotOptimize(sys.list.links.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LinkBuild)->Arg(20000)->Arg(100000);
+
+void BM_CellBinning(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), false);
+  for (auto _ : state) {
+    sys.grid.bin(sys.store.positions(), sys.store.size());
+    benchmark::DoNotOptimize(sys.grid.order().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CellBinning)->Arg(20000)->Arg(100000);
+
+void BM_Reorder(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), false);
+  for (auto _ : state) {
+    sys.grid.bin(sys.store.positions(), sys.store.size());
+    sys.store.apply_permutation(sys.grid.order(), sys.store.size());
+    benchmark::DoNotOptimize(sys.store.positions().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Reorder)->Arg(20000)->Arg(100000);
+
+void BM_PositionUpdate(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), true);
+  for (auto _ : state) {
+    const double v = kick_drift(sys.store, sys.store.size(), sys.cfg.dt,
+                                Vec<3>{}, sys.bc);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PositionUpdate)->Arg(20000)->Arg(100000);
+
+void BM_HaloPack(benchmark::State& state) {
+  System sys(20000, true);
+  // A template covering ~10% of the particles, strided.
+  mp::IndexedType idx;
+  for (std::size_t i = 0; i < sys.store.size(); i += 10) {
+    idx.add(static_cast<std::int32_t>(i));
+  }
+  std::vector<Vec<3>> out(idx.count());
+  for (auto _ : state) {
+    idx.pack(sys.store.cpositions(), std::span<Vec<3>>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(idx.count()));
+}
+BENCHMARK(BM_HaloPack);
+
+void BM_AtomicAdd(benchmark::State& state) {
+  alignas(64) double target = 0.0;
+  for (auto _ : state) {
+    smp::atomic_add(target, 1.0);
+  }
+  benchmark::DoNotOptimize(target);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AtomicAdd);
+
+}  // namespace
+}  // namespace hdem
+
+BENCHMARK_MAIN();

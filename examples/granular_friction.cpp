@@ -1,0 +1,121 @@
+// Granular friction: rough grains built from bonded particles.
+//
+// The Edinburgh physics code this paper's algorithm comes from models
+// friction without empirical friction laws: "complex particles ... are
+// collections of simpler basic particles stuck together with permanent
+// bonds made of dissipative springs.  The idea is that the complicated
+// macroscopic laws of friction will arise dynamically from the many
+// microscopic collisions of these rough grains."
+//
+// This example builds square 4-particle grains, drops them under gravity
+// into a walled box, and reports (a) grain integrity — bonds must hold
+// through the tumble — and (b) the kinetic-energy decay caused purely by
+// the dissipative bonds and inelastic pile-up.
+//
+//   ./granular_friction [--grains=150] [--steps=6000]
+#include <cstdio>
+#include <vector>
+
+#include "core/serial_sim.hpp"
+#include "util/cli.hpp"
+
+using namespace hdem;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto grains =
+      static_cast<std::uint64_t>(cli.integer("grains", 150, "number of grains"));
+  const auto steps = static_cast<std::uint64_t>(
+      cli.integer("steps", 10000, "settling iterations"));
+  if (cli.finish()) return 0;
+
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(2.0, 2.0);
+  cfg.bc = BoundaryKind::kWalls;
+  cfg.gravity = Vec<2>(0.0, -1.5);
+  cfg.stiffness = 400.0;
+  cfg.dt = 3e-4;
+  cfg.seed = 11;
+
+  // Hand-build the initial condition: grains of four particles on a small
+  // square, placed on a jittered lattice in the upper half of the box.
+  const double spacing = cfg.diameter;  // bond rest length = contact range
+  std::vector<ParticleInit<2>> init;
+  Rng rng(cfg.seed);
+  const auto side = static_cast<std::uint64_t>(std::ceil(std::sqrt(
+      static_cast<double>(grains))));
+  for (std::uint64_t g = 0; g < grains; ++g) {
+    const double gx =
+        0.15 + 1.7 * static_cast<double>(g % side) / static_cast<double>(side);
+    const double gy = 0.5 + 0.9 * static_cast<double>(g / side) /
+                                static_cast<double>(side);
+    const Vec<2> jitter(rng.uniform(-0.01, 0.01), rng.uniform(-0.01, 0.01));
+    for (int corner = 0; corner < 4; ++corner) {
+      ParticleInit<2> p;
+      p.pos = Vec<2>(gx + (corner % 2) * spacing, gy + (corner / 2) * spacing) +
+              jitter;
+      p.vel = Vec<2>(rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05));
+      init.push_back(p);
+    }
+  }
+
+  // Inelastic contacts (spring-dashpot) so the pile actually settles.
+  SerialSim<2, DissipativeSphere> sim(
+      cfg, DissipativeSphere{cfg.stiffness, 3.0, cfg.diameter}, init);
+
+  // Permanent dissipative bonds: the four edges of each grain square plus
+  // the two diagonals (shear stiffness, so grains tumble instead of
+  // folding flat).  add_bond addresses particles by their stable ids.
+  const BondedSpring edge{2000.0, 4.0, spacing};
+  const BondedSpring diagonal{2000.0, 4.0, spacing * std::sqrt(2.0)};
+  std::uint64_t nbonds = 0;
+  for (std::uint64_t g = 0; g < grains; ++g) {
+    const auto base = static_cast<std::int32_t>(4 * g);
+    for (auto [a, b] : {std::pair{0, 1}, {0, 2}, {1, 3}, {2, 3}}) {
+      sim.add_bond(base + a, base + b, edge);
+      ++nbonds;
+    }
+    for (auto [a, b] : {std::pair{0, 3}, {1, 2}}) {
+      sim.add_bond(base + a, base + b, diagonal);
+      ++nbonds;
+    }
+  }
+  std::printf("%llu grains (%zu particles, %llu bonds) falling...\n",
+              static_cast<unsigned long long>(grains), init.size(),
+              static_cast<unsigned long long>(nbonds));
+
+  const std::uint64_t report_every = steps / 6 ? steps / 6 : 1;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    sim.step();
+    if ((s + 1) % report_every == 0) {
+      std::printf("  step %5llu: KE %8.4f  PE %8.4f\n",
+                  static_cast<unsigned long long>(s + 1), sim.kinetic(),
+                  sim.potential_energy());
+    }
+  }
+
+  // Grain integrity: every bond must still be near its rest length.  Find
+  // particles by id (reordering permutes storage indices).
+  std::vector<Vec<2>> by_id(sim.store().size());
+  for (std::size_t i = 0; i < sim.store().size(); ++i) {
+    by_id[static_cast<std::size_t>(sim.store().id(i))] = sim.store().pos(i);
+  }
+  double worst_stretch = 0.0;
+  for (std::uint64_t g = 0; g < grains; ++g) {
+    const auto base = 4 * g;
+    for (auto [a, b] : {std::pair{0, 1}, {0, 2}, {1, 3}, {2, 3}}) {
+      const double len = norm(by_id[base + static_cast<std::uint64_t>(a)] -
+                              by_id[base + static_cast<std::uint64_t>(b)]);
+      worst_stretch =
+          std::max(worst_stretch, std::abs(len - spacing) / spacing);
+    }
+  }
+  std::printf("\nafter settling: worst bond stretch %.1f%% of rest length\n",
+              100.0 * worst_stretch);
+  std::printf("kinetic energy decayed to %.4f — dissipative bonds plus\n"
+              "pile-up produce the macroscopic stickiness the physicists\n"
+              "are after, with no empirical friction law anywhere in the\n"
+              "force model.\n",
+              sim.kinetic());
+  return worst_stretch < 0.5 ? 0 : 1;
+}

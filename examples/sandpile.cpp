@@ -1,0 +1,108 @@
+// Sandpile: the physics application that motivates the paper.
+//
+// "A typical simulation might involve letting particles fall under gravity
+// onto a solid surface to form 'sand-piles'.  These piles form and grow
+// dynamically, and hence there is an ever-changing spatial distribution of
+// clusters of particles; load-balance is clearly one of the key issues for
+// any parallel implementation."
+//
+// Particles rain down in a walled 2-D box, settle into a pile, and we
+// measure exactly the load-imbalance the paper is about: how unevenly the
+// *work* (links) distributes over a block decomposition, and how a finer
+// block-cyclic granularity repairs it.
+//
+//   ./sandpile [--n=4000] [--steps=4000]
+#include <cstdio>
+#include <vector>
+
+#include "core/serial_sim.hpp"
+#include "io/checkpoint.hpp"
+#include "decomp/layout.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+
+using namespace hdem;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(
+      cli.integer("n", 4000, "number of grains of sand"));
+  const auto steps = static_cast<std::uint64_t>(
+      cli.integer("steps", 4000, "settling iterations"));
+  if (cli.finish()) return 0;
+
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(2.0, 2.0);
+  cfg.bc = BoundaryKind::kWalls;
+  cfg.gravity = Vec<2>(0.0, -2.0);
+  cfg.stiffness = 400.0;
+  cfg.velocity_scale = 0.1;
+  cfg.dt = 4e-4;
+  cfg.seed = 7;
+
+  // Start from particles suspended through the box; gravity does the rest.
+  auto sim = SerialSim<2>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, n);
+  std::printf("dropping %llu particles under gravity...\n",
+              static_cast<unsigned long long>(n));
+  sim.run(steps);
+
+  // Height histogram of the settled pile.
+  constexpr int kRows = 12;
+  std::vector<int> rows(kRows, 0);
+  for (std::size_t i = 0; i < sim.store().size(); ++i) {
+    int r = static_cast<int>(sim.store().pos(i)[1] / cfg.box[1] * kRows);
+    if (r >= kRows) r = kRows - 1;
+    if (r < 0) r = 0;
+    ++rows[static_cast<std::size_t>(r)];
+  }
+  std::printf("\nsettled density profile (fraction of particles per height "
+              "band):\n");
+  for (int r = kRows - 1; r >= 0; --r) {
+    const double frac = static_cast<double>(rows[static_cast<std::size_t>(r)]) /
+                        static_cast<double>(n);
+    std::printf("  y=%4.2f |%-50s| %4.1f%%\n",
+                (r + 0.5) * cfg.box[1] / kRows,
+                std::string(static_cast<std::size_t>(frac * 150.0), '#')
+                    .substr(0, 50)
+                    .c_str(),
+                100.0 * frac);
+  }
+
+  // The parallel question: how badly is per-block *work* (links, which is
+  // what the force loop iterates over) imbalanced at each granularity?
+  // This is the paper's case for block-cyclic distributions and for
+  // shared-memory load balancing.
+  std::printf("\nwork imbalance over a 2x2 process grid (P=4):\n");
+  std::printf("  %-10s %-8s %s\n", "B/P", "blocks", "max/mean link load");
+  for (int bpp : {1, 4, 16, 64}) {
+    const auto layout = DecompLayout<2>::make(4, bpp);
+    std::vector<std::uint64_t> rank_links(4, 0);
+    for (const auto& link : sim.links().links) {
+      // Attribute each link to the rank owning its first particle's block.
+      const auto c = layout.block_of_position(
+          sim.store().pos(static_cast<std::size_t>(link.i)), cfg.box);
+      ++rank_links[static_cast<std::size_t>(layout.owner_rank(c))];
+    }
+    std::uint64_t max_load = 0, total = 0;
+    for (auto l : rank_links) {
+      max_load = std::max(max_load, l);
+      total += l;
+    }
+    const double mean = static_cast<double>(total) / 4.0;
+    std::printf("  %-10d %-8d %.2f\n", bpp, layout.nblocks(),
+                mean > 0 ? static_cast<double>(max_load) / mean : 0.0);
+  }
+  // Persist the settled pile: any driver can restart from this file (see
+  // io/checkpoint.hpp and tests/test_checkpoint.cpp).
+  io::write_checkpoint<2>("sandpile_settled.ckpt", sim.config(),
+                          io::snapshot(sim));
+  std::printf("\nsettled state checkpointed to sandpile_settled.ckpt\n");
+
+  std::printf(
+      "\nA pile concentrates all links in the bottom blocks: at B/P=1 one\n"
+      "process owns nearly all the work, and finer granularity (larger\n"
+      "B/P) evens it out at the cost of the overheads measured in\n"
+      "bench/fig3_mpi_granularity — the trade-off this paper quantifies.\n");
+  return 0;
+}

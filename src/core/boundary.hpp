@@ -1,0 +1,89 @@
+// Global boundary conditions: periodic box or reflecting hard walls.
+//
+// The parallel drivers handle periodicity geometrically (halo copies are
+// shifted by +/- L), so positions are only wrapped back into the primary
+// box when the link list is rebuilt.  Wall reflections, in contrast, must
+// be applied on every position update.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "core/config.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+class Boundary {
+ public:
+  Boundary() = default;
+  Boundary(BoundaryKind kind, const Vec<D>& box) : kind_(kind), box_(box) {}
+
+  BoundaryKind kind() const { return kind_; }
+  const Vec<D>& box() const { return box_; }
+  bool periodic() const { return kind_ == BoundaryKind::kPeriodic; }
+
+  // Displacement xi - xj under the minimum-image convention (periodic) or
+  // plainly (walls).  Valid for |xi - xj| < box/2 per dimension.
+  Vec<D> displacement(const Vec<D>& xi, const Vec<D>& xj) const {
+    Vec<D> d = xi - xj;
+    if (periodic()) {
+      for (int k = 0; k < D; ++k) {
+        const double l = box_[k];
+        if (d[k] > 0.5 * l) {
+          d[k] -= l;
+        } else if (d[k] < -0.5 * l) {
+          d[k] += l;
+        }
+      }
+    }
+    return d;
+  }
+
+  // Wrap a position into [0, box) per dimension.  No-op for walls.
+  void wrap(Vec<D>& x) const {
+    if (!periodic()) return;
+    for (int k = 0; k < D; ++k) {
+      const double l = box_[k];
+      // Positions drift by at most a small fraction of a cell between
+      // rebuilds, so one conditional add suffices in practice; fall back to
+      // fmod for robustness against pathological inputs.
+      if (x[k] >= l) {
+        x[k] -= l;
+        if (x[k] >= l) x[k] = std::fmod(x[k], l);
+      } else if (x[k] < 0.0) {
+        x[k] += l;
+        if (x[k] < 0.0) {
+          x[k] = std::fmod(x[k], l) + l;
+          if (x[k] >= l) x[k] = 0.0;
+        }
+      }
+    }
+  }
+
+  // Reflect a position/velocity off the hard walls.  No-op for periodic.
+  void reflect(Vec<D>& x, Vec<D>& v) const {
+    if (periodic()) return;
+    for (int k = 0; k < D; ++k) {
+      const double l = box_[k];
+      if (x[k] < 0.0) {
+        x[k] = -x[k];
+        v[k] = -v[k];
+      } else if (x[k] > l) {
+        x[k] = 2.0 * l - x[k];
+        v[k] = -v[k];
+      }
+      // A particle moving faster than a box length per step is a physics
+      // bug upstream; clamp instead of looping forever.
+      if (x[k] < 0.0) x[k] = 0.0;
+      if (x[k] > l) x[k] = l;
+    }
+  }
+
+ private:
+  BoundaryKind kind_ = BoundaryKind::kPeriodic;
+  Vec<D> box_{1.0};
+};
+
+}  // namespace hdem

@@ -1,0 +1,181 @@
+// Cell grid for neighbour search.
+//
+// The simulation region is divided into cubical cells at least rc on a
+// side; particles are binned with a counting sort, producing a cell-ordered
+// particle index list.  That list serves two purposes, exactly as in the
+// paper: (1) link generation only inspects the 3^D - 1 neighbouring cells,
+// and (2) the same list is reused as the cache-optimising reordering
+// permutation ("particles in the same cell being contiguous in the list").
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+class CellGrid {
+ public:
+  // Cover [lo, hi) with cells of side >= min_cell.  wrap[d] enables
+  // periodic neighbour lookup in dimension d (serial periodic runs); the
+  // block-decomposed drivers never wrap (halo copies handle periodicity).
+  void configure(const Vec<D>& lo, const Vec<D>& hi, double min_cell,
+                 std::array<bool, D> wrap) {
+    lo_ = lo;
+    wrap_ = wrap;
+    ncells_ = 1;
+    for (int d = 0; d < D; ++d) {
+      const double extent = hi[d] - lo[d];
+      if (extent <= 0.0 || min_cell <= 0.0) {
+        throw std::invalid_argument("CellGrid: empty extent or cell size");
+      }
+      dims_[d] = static_cast<int>(extent / min_cell);
+      if (dims_[d] < 1) dims_[d] = 1;
+      if (wrap[d] && dims_[d] < 3) {
+        // With < 3 cells a wrapped +1 and -1 neighbour alias, which would
+        // duplicate links; the SimConfig validator keeps boxes >= 3 rc.
+        throw std::invalid_argument("CellGrid: wrapped dimension needs >= 3 cells");
+      }
+      cell_size_[d] = extent / dims_[d];
+      inv_cell_[d] = 1.0 / cell_size_[d];
+      ncells_ *= dims_[d];
+    }
+  }
+
+  int ncells() const { return ncells_; }
+  const std::array<int, D>& dims() const { return dims_; }
+  const Vec<D>& origin() const { return lo_; }
+
+  // Row-major linear index, last dimension fastest.
+  std::int32_t cell_index(const std::array<int, D>& c) const {
+    std::int32_t idx = 0;
+    for (int d = 0; d < D; ++d) idx = idx * dims_[d] + c[d];
+    return idx;
+  }
+
+  std::array<int, D> coords_of(std::int32_t cell) const {
+    std::array<int, D> c{};
+    for (int d = D - 1; d >= 0; --d) {
+      c[d] = cell % dims_[d];
+      cell /= dims_[d];
+    }
+    return c;
+  }
+
+  // Cell containing x, clamped to the grid (particles sitting exactly on
+  // the upper boundary or having drifted marginally outside are clamped).
+  std::int32_t cell_of(const Vec<D>& x) const {
+    std::array<int, D> c{};
+    for (int d = 0; d < D; ++d) {
+      int k = static_cast<int>((x[d] - lo_[d]) * inv_cell_[d]);
+      if (k < 0) k = 0;
+      if (k >= dims_[d]) k = dims_[d] - 1;
+      c[d] = k;
+    }
+    return cell_index(c);
+  }
+
+  // Counting-sort the first n particles of pos into cells.
+  void bin(std::span<const Vec<D>> pos, std::size_t n) {
+    assert(n <= pos.size());
+    starts_.assign(static_cast<std::size_t>(ncells_) + 1, 0);
+    cell_of_particle_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t c = cell_of(pos[i]);
+      cell_of_particle_[i] = c;
+      ++starts_[static_cast<std::size_t>(c) + 1];
+    }
+    std::partial_sum(starts_.begin(), starts_.end(), starts_.begin());
+    order_.resize(n);
+    cursor_.assign(starts_.begin(), starts_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      order_[static_cast<std::size_t>(
+          cursor_[static_cast<std::size_t>(cell_of_particle_[i])]++)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Particle indices in cell c (valid after bin()).
+  std::span<const std::int32_t> cell_particles(std::int32_t c) const {
+    const auto b = static_cast<std::size_t>(starts_[static_cast<std::size_t>(c)]);
+    const auto e =
+        static_cast<std::size_t>(starts_[static_cast<std::size_t>(c) + 1]);
+    return {order_.data() + b, e - b};
+  }
+
+  // Cell-ordered particle list; doubles as the reordering permutation.
+  const std::vector<std::int32_t>& order() const { return order_; }
+  const std::vector<std::int32_t>& starts() const { return starts_; }
+
+  // After the store has been permuted into cell order, the binning stays
+  // valid with the identity ordering; this avoids a second bin() pass.
+  void reset_order_to_identity() {
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  // The (3^D - 1)/2 "half stencil" neighbour offsets: every offset in
+  // {-1,0,1}^D whose first non-zero component is positive.  Visiting each
+  // unordered cell pair exactly once implements the paper's rule that
+  // cross-cell links originate from the lowest-numbered cell.
+  static const std::vector<std::array<int, D>>& half_stencil() {
+    static const std::vector<std::array<int, D>> stencil = [] {
+      std::vector<std::array<int, D>> out;
+      std::array<int, D> off{};
+      // Enumerate {-1,0,1}^D via a mixed-radix counter.
+      const int total = [] {
+        int t = 1;
+        for (int d = 0; d < D; ++d) t *= 3;
+        return t;
+      }();
+      for (int code = 0; code < total; ++code) {
+        int c = code;
+        for (int d = D - 1; d >= 0; --d) {
+          off[d] = c % 3 - 1;
+          c /= 3;
+        }
+        for (int d = 0; d < D; ++d) {
+          if (off[d] == 0) continue;
+          if (off[d] > 0) out.push_back(off);
+          break;
+        }
+      }
+      return out;
+    }();
+    return stencil;
+  }
+
+  // Neighbour of `cell` displaced by `off`; -1 when the neighbour falls
+  // outside a non-wrapped boundary.
+  std::int32_t neighbor(std::int32_t cell, const std::array<int, D>& off) const {
+    std::array<int, D> c = coords_of(cell);
+    for (int d = 0; d < D; ++d) {
+      c[d] += off[d];
+      if (c[d] < 0 || c[d] >= dims_[d]) {
+        if (!wrap_[d]) return -1;
+        c[d] = (c[d] + dims_[d]) % dims_[d];
+      }
+    }
+    return cell_index(c);
+  }
+
+ private:
+  Vec<D> lo_{};
+  std::array<int, D> dims_{};
+  Vec<D> cell_size_{};
+  Vec<D> inv_cell_{};
+  std::array<bool, D> wrap_{};
+  int ncells_ = 0;
+  std::vector<std::int32_t> starts_;   // ncells + 1 prefix offsets
+  std::vector<std::int32_t> order_;    // cell-ordered particle indices
+  std::vector<std::int32_t> cursor_;   // scratch for counting sort
+  std::vector<std::int32_t> cell_of_particle_;  // scratch
+};
+
+}  // namespace hdem

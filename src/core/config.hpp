@@ -1,0 +1,65 @@
+// Simulation configuration shared by every driver.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/vec.hpp"
+
+namespace hdem {
+
+enum class BoundaryKind : std::uint8_t {
+  kPeriodic,  // periodic in every dimension
+  kWalls,     // reflecting hard walls in every dimension
+};
+
+// Parameters of the paper's test system: identical elastic spheres of
+// diameter d in an L^D box, pairwise contact force requiring one square
+// root and one inverse, cutoff rc = cutoff_factor * rmax with rmax = d.
+template <int D>
+struct SimConfig {
+  Vec<D> box{1.0};                 // domain is [0, box[d]) per dimension
+  BoundaryKind bc = BoundaryKind::kPeriodic;
+  double diameter = 0.05;          // sphere diameter d (= rmax, contact only)
+  double stiffness = 100.0;        // contact spring constant k
+  double cutoff_factor = 1.5;      // rc / rmax; paper uses 1.5 and 2.0
+  double dt = 5e-4;                // time step (units: m = 1)
+  double velocity_scale = 0.05;    // initial random speed scale
+  Vec<D> gravity{};                // uniform external acceleration
+  bool reorder = true;             // cell-order particle reordering at rebuild
+  std::uint64_t seed = 12345;      // RNG seed for initial conditions
+
+  double rmax() const { return diameter; }
+  double cutoff() const { return cutoff_factor * diameter; }
+
+  // Maximum accumulated one-particle drift before the link list may miss a
+  // pair entering interaction range: two particles can close the gap from
+  // both sides, hence the factor 1/2.
+  double drift_allowance() const { return 0.5 * (cutoff() - rmax()); }
+
+  void validate() const {
+    if (cutoff_factor <= 1.0) {
+      throw std::invalid_argument("cutoff_factor must exceed 1 (rc > rmax)");
+    }
+    for (int d = 0; d < D; ++d) {
+      if (box[d] < 3.0 * cutoff()) {
+        throw std::invalid_argument("box too small relative to cutoff");
+      }
+    }
+    if (dt <= 0.0 || diameter <= 0.0 || stiffness < 0.0) {
+      throw std::invalid_argument("non-positive dt/diameter/stiffness");
+    }
+  }
+
+  // The paper's benchmark geometry: one million particles of d = 0.05 in
+  // L = 50 (D = 2) or L = 5 (D = 3), i.e. number density 400 (D = 2) or
+  // 8000 (D = 3).  paper_box(n) returns the box edge giving the same
+  // density for n particles.
+  static double paper_density() { return D == 2 ? 400.0 : 8000.0; }
+  static double paper_box_edge(std::uint64_t n) {
+    return std::pow(static_cast<double>(n) / paper_density(), 1.0 / D);
+  }
+};
+
+}  // namespace hdem

@@ -1,0 +1,122 @@
+#include "core/counters.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace hdem {
+
+Counters& Counters::merge(const Counters& o) {
+  iterations = iterations > o.iterations ? iterations : o.iterations;
+  rebuilds = rebuilds > o.rebuilds ? rebuilds : o.rebuilds;
+  reorders = reorders > o.reorders ? reorders : o.reorders;
+  particles += o.particles;
+  halo_particles += o.halo_particles;
+  blocks += o.blocks;
+  links_core += o.links_core;
+  links_halo += o.links_halo;
+  force_evals += o.force_evals;
+  contacts += o.contacts;
+  position_updates += o.position_updates;
+  link_gap_sum += o.link_gap_sum;
+  link_gap_count += o.link_gap_count;
+  for (int b = 0; b < kGapBuckets; ++b) link_gap_hist[b] += o.link_gap_hist[b];
+  parallel_regions += o.parallel_regions;
+  barriers += o.barriers;
+  atomic_updates += o.atomic_updates;
+  plain_updates += o.plain_updates;
+  critical_sections += o.critical_sections;
+  reduction_bytes += o.reduction_bytes;
+  msgs_sent += o.msgs_sent;
+  bytes_sent += o.bytes_sent;
+  msgs_local += o.msgs_local;
+  bytes_local += o.bytes_local;
+  collectives += o.collectives;
+  migrated_particles += o.migrated_particles;
+  return *this;
+}
+
+void Counters::record_link_gap(std::uint64_t gap) {
+  link_gap_sum += gap;
+  ++link_gap_count;
+  int b = 0;
+  while ((gap >> 1) != 0 && b < kGapBuckets - 1) {
+    gap >>= 1;
+    ++b;
+  }
+  ++link_gap_hist[b];
+}
+
+double Counters::gap_fraction_above(double capacity) const {
+  if (link_gap_count == 0) return 0.0;
+  if (capacity <= 0.0) return 1.0;
+  double above = 0.0;
+  for (int b = 0; b < kGapBuckets; ++b) {
+    if (link_gap_hist[b] == 0) continue;
+    // Bucket b holds gaps in [2^b, 2^(b+1)); assume a log-uniform spread
+    // within the bucket so thresholds crossing a bucket interpolate
+    // smoothly instead of stepping.
+    const double lo = static_cast<double>(1ull << b);
+    const double hi = 2.0 * lo;
+    double frac;
+    if (capacity <= lo) {
+      frac = 1.0;
+    } else if (capacity >= hi) {
+      frac = 0.0;
+    } else {
+      frac = std::log2(hi / capacity);  // in (0, 1)
+    }
+    above += frac * static_cast<double>(link_gap_hist[b]);
+  }
+  return above / static_cast<double>(link_gap_count);
+}
+
+Counters counters_delta(const Counters& after, const Counters& before) {
+  Counters d = after;  // current fields + locality stay at "after" values
+  d.iterations = after.iterations - before.iterations;
+  d.rebuilds = after.rebuilds - before.rebuilds;
+  d.reorders = after.reorders - before.reorders;
+  d.force_evals = after.force_evals - before.force_evals;
+  d.contacts = after.contacts - before.contacts;
+  d.position_updates = after.position_updates - before.position_updates;
+  d.parallel_regions = after.parallel_regions - before.parallel_regions;
+  d.barriers = after.barriers - before.barriers;
+  d.atomic_updates = after.atomic_updates - before.atomic_updates;
+  d.plain_updates = after.plain_updates - before.plain_updates;
+  d.critical_sections = after.critical_sections - before.critical_sections;
+  d.reduction_bytes = after.reduction_bytes - before.reduction_bytes;
+  d.msgs_sent = after.msgs_sent - before.msgs_sent;
+  d.bytes_sent = after.bytes_sent - before.bytes_sent;
+  d.msgs_local = after.msgs_local - before.msgs_local;
+  d.bytes_local = after.bytes_local - before.bytes_local;
+  d.collectives = after.collectives - before.collectives;
+  d.migrated_particles = after.migrated_particles - before.migrated_particles;
+  return d;
+}
+
+double Counters::mean_link_gap() const {
+  if (link_gap_count == 0) return 0.0;
+  return static_cast<double>(link_gap_sum) /
+         static_cast<double>(link_gap_count);
+}
+
+std::string Counters::summary() const {
+  std::ostringstream os;
+  os << "iterations=" << iterations << " rebuilds=" << rebuilds
+     << " reorders=" << reorders << "\n"
+     << "particles=" << particles << " halo=" << halo_particles
+     << " blocks=" << blocks << "\n"
+     << "links core=" << links_core << " halo=" << links_halo
+     << " force_evals=" << force_evals << " contacts=" << contacts << "\n"
+     << "mean_link_gap=" << mean_link_gap() << "\n"
+     << "smp: regions=" << parallel_regions << " barriers=" << barriers
+     << " atomic=" << atomic_updates << " plain=" << plain_updates
+     << " critical=" << critical_sections
+     << " reduction_bytes=" << reduction_bytes << "\n"
+     << "mp: msgs=" << msgs_sent << " bytes=" << bytes_sent
+     << " local_msgs=" << msgs_local << " local_bytes=" << bytes_local
+     << " collectives=" << collectives
+     << " migrated=" << migrated_particles << "\n";
+  return os.str();
+}
+
+}  // namespace hdem

@@ -1,0 +1,82 @@
+// Operation counters — the measured quantities that feed the performance
+// model (see src/perf).
+//
+// The paper analyses its results in terms of operation counts: number of
+// link-force evaluations, number of atomic locks during the force update,
+// bytes exchanged in halo swaps, thread synchronisations per block, etc.
+// Every driver in this library maintains an exact set of such counters so
+// the machine cost model works from measured inputs rather than estimates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hdem {
+
+struct Counters {
+  // -- simulation structure -------------------------------------------------
+  std::uint64_t iterations = 0;        // force+update steps performed
+  std::uint64_t rebuilds = 0;          // link-list reconstructions
+  std::uint64_t reorders = 0;          // cell-order particle permutations
+  std::uint64_t particles = 0;         // core particles owned (current)
+  std::uint64_t halo_particles = 0;    // halo copies held (current)
+  std::uint64_t blocks = 0;            // blocks owned (current)
+
+  // -- link list / force loop (cumulative over iterations) ------------------
+  std::uint64_t links_core = 0;        // core links in current list
+  std::uint64_t links_halo = 0;        // core-halo links in current list
+  std::uint64_t force_evals = 0;       // links traversed (distance checks)
+  std::uint64_t contacts = 0;          // pairs inside interaction range
+  std::uint64_t position_updates = 0;  // particle position updates
+  std::uint64_t link_gap_sum = 0;      // sum over links of |i - j| (locality)
+  std::uint64_t link_gap_count = 0;    // links contributing to link_gap_sum
+  // Histogram of link index gaps in log2 buckets: bucket b counts links
+  // with |i - j| in [2^b, 2^(b+1)).  Bucket 0 also counts gap <= 1.  The
+  // cache model reads the fraction of link accesses whose reuse span
+  // exceeds a machine's cache capacity straight off this histogram.
+  static constexpr int kGapBuckets = 40;
+  std::uint64_t link_gap_hist[kGapBuckets] = {};
+
+  // -- shared-memory runtime (cumulative) -----------------------------------
+  std::uint64_t parallel_regions = 0;  // fork/join parallel constructs
+  std::uint64_t barriers = 0;          // team barrier episodes
+  std::uint64_t atomic_updates = 0;    // force accumulations done atomically
+  std::uint64_t plain_updates = 0;     // force accumulations done unprotected
+  std::uint64_t critical_sections = 0; // critical-section entries
+  std::uint64_t reduction_bytes = 0;   // private-array traffic (zero+merge)
+
+  // -- message passing (cumulative) ------------------------------------------
+  std::uint64_t msgs_sent = 0;         // point-to-point messages to other ranks
+  std::uint64_t bytes_sent = 0;        // payload bytes in those messages
+  std::uint64_t msgs_local = 0;        // block-to-block copies within a rank
+  std::uint64_t bytes_local = 0;       // bytes moved by those copies
+  std::uint64_t collectives = 0;       // barrier/reduce/bcast episodes
+  std::uint64_t migrated_particles = 0;// particles re-homed at rebuilds
+
+  // Accumulate another counter set (e.g. merging per-rank counters).
+  // "Current" quantities (particles, links_core, ...) add as well, which is
+  // the right semantics when merging disjoint ranks/blocks.
+  Counters& merge(const Counters& o);
+
+  // Mean index distance between link endpoints; the locality metric used by
+  // the cache model (large for random particle order, small after
+  // cell-order reordering).
+  double mean_link_gap() const;
+
+  // Record one link gap into the sum and histogram.
+  void record_link_gap(std::uint64_t gap);
+
+  // Fraction of recorded link gaps strictly above `capacity` (measured in
+  // particles); the cache model's miss-probability estimator.
+  double gap_fraction_above(double capacity) const;
+
+  // Human-readable multi-line summary.
+  std::string summary() const;
+};
+
+// Steady-state window extraction: cumulative fields become after - before,
+// "current" fields (particles, halo_particles, blocks, links_*) and the
+// locality statistics keep their latest values.
+Counters counters_delta(const Counters& after, const Counters& before);
+
+}  // namespace hdem

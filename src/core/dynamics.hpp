@@ -1,0 +1,105 @@
+// Force accumulation over the link list and the position update.
+//
+// These are the serial building blocks; the threaded force loop with its
+// five accumulation strategies lives in src/reduction, and the decomposed
+// drivers compose these per block.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <span>
+
+#include "core/boundary.hpp"
+#include "core/counters.hpp"
+#include "core/link_list.hpp"
+#include "core/particle_store.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+void zero_forces(ParticleStore<D>& store) {
+  auto f = store.forces();
+  std::fill(f.begin(), f.end(), Vec<D>{});
+}
+
+// Accumulate link forces.  Links with update_both = true update both ends
+// (core-core links); otherwise only the first end is updated (core-halo
+// links, whose second end belongs to a neighbouring block).  Returns the
+// potential energy of the traversed links scaled by pe_weight (1 for core
+// links, 1/2 for replicated core-halo links).
+template <int D, class Model, class Disp>
+double accumulate_forces(std::span<const Link> links, ParticleStore<D>& store,
+                         const Model& model, Disp&& disp, bool update_both,
+                         double pe_weight, Counters* counters = nullptr) {
+  double pe = 0.0;
+  std::uint64_t contacts = 0;
+  auto pos = store.positions();
+  auto vel = store.velocities();
+  auto frc = store.forces();
+  for (const Link& l : links) {
+    const auto i = static_cast<std::size_t>(l.i);
+    const auto j = static_cast<std::size_t>(l.j);
+    const Vec<D> d = disp(pos[i], pos[j]);
+    double rv = 0.0;
+    if constexpr (Model::needs_velocity) {
+      rv = dot(vel[i] - vel[j], d);
+    }
+    double s, e;
+    if (!model.pair(norm2(d), rv, s, e)) continue;
+    ++contacts;
+    pe += pe_weight * e;
+    const Vec<D> f = s * d;
+    frc[i] += f;
+    if (update_both) frc[j] -= f;
+  }
+  if (counters != nullptr) {
+    counters->force_evals += links.size();
+    counters->contacts += contacts;
+  }
+  return pe;
+}
+
+// Second-order kick-drift (leapfrog) update of the first ncore particles:
+//   v += (f + g) dt;  x += v dt
+// followed by wall reflection when the boundary has hard walls (periodic
+// wrapping is deferred to the next rebuild).  Returns the maximum particle
+// speed, from which the caller advances its drift bound for the link-list
+// validity test.
+template <int D>
+double kick_drift_range(ParticleStore<D>& store, std::size_t lo,
+                        std::size_t hi, double dt, const Vec<D>& gravity,
+                        const Boundary<D>& bc, Counters* counters = nullptr) {
+  auto pos = store.positions();
+  auto vel = store.velocities();
+  auto frc = store.forces();
+  double max_v2 = 0.0;
+  const bool walls = bc.kind() == BoundaryKind::kWalls;
+  for (std::size_t i = lo; i < hi; ++i) {
+    vel[i] += (frc[i] + gravity) * dt;
+    pos[i] += vel[i] * dt;
+    if (walls) bc.reflect(pos[i], vel[i]);
+    const double v2 = norm2(vel[i]);
+    if (v2 > max_v2) max_v2 = v2;
+  }
+  if (counters != nullptr) counters->position_updates += hi - lo;
+  return std::sqrt(max_v2);
+}
+
+template <int D>
+double kick_drift(ParticleStore<D>& store, std::size_t ncore, double dt,
+                  const Vec<D>& gravity, const Boundary<D>& bc,
+                  Counters* counters = nullptr) {
+  return kick_drift_range(store, 0, ncore, dt, gravity, bc, counters);
+}
+
+// Kinetic energy of the first ncore particles (unit mass).
+template <int D>
+double kinetic_energy(const ParticleStore<D>& store, std::size_t ncore) {
+  double ke = 0.0;
+  auto vel = store.velocities();
+  for (std::size_t i = 0; i < ncore; ++i) ke += 0.5 * norm2(vel[i]);
+  return ke;
+}
+
+}  // namespace hdem

@@ -1,0 +1,86 @@
+// Pairwise force models.
+//
+// The paper's benchmark uses identical elastic spheres: a linear repulsive
+// contact whose evaluation needs exactly "one floating point inverse and
+// one square root".  The physics application that motivates the study
+// builds rough "grains" from basic particles joined by permanent
+// dissipative springs; BondedSpring implements that bond force for the
+// grain examples.
+//
+// A model exposes
+//   static constexpr bool needs_velocity;
+//   bool pair(double r2, double rv, double& s, double& pe) const;
+// where r2 = |xi-xj|^2 and rv = (vi-vj).(xi-xj).  On return s is the
+// scalar such that the force on particle i is s * (xi - xj) (and -s on j),
+// and pe is the pair potential energy.  pair() returns false when the pair
+// does not interact at this separation (s and pe are then unspecified).
+#pragma once
+
+#include <cmath>
+
+namespace hdem {
+
+// Repulsive linear spring between overlapping spheres of diameter d:
+//   F_i = k (d - r) rhat,   for r < d.
+struct ElasticSphere {
+  double k = 100.0;  // contact stiffness
+  double d = 0.05;   // sphere diameter (= interaction range rmax)
+
+  static constexpr bool needs_velocity = false;
+
+  bool pair(double r2, double /*rv*/, double& s, double& pe) const {
+    if (r2 >= d * d) return false;
+    const double r = std::sqrt(r2);   // the paper's square root
+    const double inv = 1.0 / r;       // ... and floating point inverse
+    const double overlap = d - r;
+    s = k * overlap * inv;
+    pe = 0.5 * k * overlap * overlap;
+    return true;
+  }
+};
+
+// Spring-dashpot contact: the elastic sphere with normal velocity damping
+// (inelastic collisions).  The paper's benchmark force is purely elastic;
+// the Edinburgh physics application dissipates energy in every contact,
+// which is what lets sand piles settle — used by the grain examples.
+//   F_i = [k (d - r) - gamma (vrel . rhat)] rhat,   for r < d.
+struct DissipativeSphere {
+  double k = 100.0;
+  double gamma = 1.0;
+  double d = 0.05;
+
+  static constexpr bool needs_velocity = true;
+
+  bool pair(double r2, double rv, double& s, double& pe) const {
+    if (r2 >= d * d) return false;
+    const double r = std::sqrt(r2);
+    const double inv = 1.0 / r;
+    const double overlap = d - r;
+    s = (k * overlap - gamma * rv * inv) * inv;
+    pe = 0.5 * k * overlap * overlap;
+    return true;
+  }
+};
+
+// Permanent dissipative spring (grain bond):
+//   F_i = [-ks (r - rest) - gamma (vrel . rhat)] rhat.
+// Always interacts (bonds never break in the reference model).
+struct BondedSpring {
+  double ks = 200.0;    // bond stiffness
+  double gamma = 1.0;   // normal dissipation coefficient
+  double rest = 0.05;   // rest length
+
+  static constexpr bool needs_velocity = true;
+
+  bool pair(double r2, double rv, double& s, double& pe) const {
+    const double r = std::sqrt(r2);
+    const double inv = 1.0 / r;
+    const double stretch = r - rest;
+    // rv * inv = vrel . rhat; the whole force acts along rhat = disp * inv.
+    s = (-ks * stretch - gamma * rv * inv) * inv;
+    pe = 0.5 * ks * stretch * stretch;
+    return true;
+  }
+};
+
+}  // namespace hdem

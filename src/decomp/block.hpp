@@ -1,0 +1,61 @@
+// One block of the block-cyclic decomposition.
+//
+// "In the code, each individual block is effectively treated like a
+// separate simulation with time-varying boundary conditions provided by
+// the halo particles."  A block owns its core particles [0, ncore) with
+// halo copies stored contiguously after them, its own cell grid over the
+// rc-extended region, its own link list (core links first), and per-side
+// halo templates (the MPI-indexed-datatype analogue).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/cell_grid.hpp"
+#include "core/link_list.hpp"
+#include "core/particle_store.hpp"
+#include "mp/indexed.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+struct BlockDomain {
+  // Communication template for one face of the block.  Valid from one
+  // rebuild to the next, exactly like the paper's MPI indexed types.
+  struct HaloSide {
+    int nb_block = -1;        // neighbouring block (global index), -1 = wall
+    int nb_rank = -1;         // rank owning that block
+    double shift = 0.0;       // added to the face dimension of sent positions
+    mp::IndexedType send;     // local particle indices to send each iteration
+    std::size_t recv_offset = 0;  // where received halo copies live in store
+    std::size_t recv_count = 0;
+  };
+
+  int index = -1;                 // global block index
+  std::array<int, D> coords{};    // global block coordinates
+  Vec<D> lo{}, hi{};              // core region bounds
+  ParticleStore<D> store;         // core particles then halo copies
+  std::size_t ncore = 0;
+  CellGrid<D> grid;               // covers [lo - rc, hi + rc)
+  LinkList links;
+  std::array<std::array<HaloSide, 2>, D> halo{};  // [dim][0 = minus, 1 = plus]
+
+  bool contains(const Vec<D>& x) const {
+    for (int d = 0; d < D; ++d) {
+      if (x[d] < lo[d] || x[d] >= hi[d]) return false;
+    }
+    return true;
+  }
+
+  std::size_t halo_count() const { return store.size() - ncore; }
+};
+
+// Tag for the halo message arriving at block `dest_block` for dimension
+// `dim` on side `side`.  Unique per concurrently in-flight message, which
+// is all the matching needs given per-(src, tag) FIFO mailboxes.
+inline int halo_tag(int dest_block, int dim, int side) {
+  return (dest_block * 8 + dim) * 2 + side;
+}
+
+}  // namespace hdem

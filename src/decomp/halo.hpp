@@ -1,0 +1,193 @@
+// Halo construction and per-iteration halo swaps.
+//
+// "The core domain of each block is extended in the standard way to
+// include a halo of width rc in every dimension, and at each iteration we
+// perform halo swaps with neighbouring processors. ... For efficiency, we
+// construct MPI indexed data-types for every block which describe the halo
+// data to be sent in each dimension.  Halo swaps are achieved by a series
+// of matched sendrecv calls between neighbouring blocks; the strided halo
+// is received into contiguous storage immediately following the data for
+// the core particles."
+//
+// The exchange sweeps dimension by dimension; particles received in
+// earlier dimensions are forwarded in later ones, which populates the
+// corner regions.  Same-rank neighbouring blocks short-circuit through a
+// local copy (tallied separately, so the performance model can price
+// intra-rank transfers at memory speed).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/counters.hpp"
+#include "decomp/block.hpp"
+#include "decomp/layout.hpp"
+#include "mp/comm.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+class HaloExchanger {
+ public:
+  HaloExchanger(const DecompLayout<D>& layout, const Boundary<D>& bc,
+                double rc)
+      : layout_(layout), bc_(bc), rc_(rc) {}
+
+  // Rebuild every block's halo templates and perform the initial exchange,
+  // appending halo copies to each store.  Call after migration (and after
+  // any particle reordering) while each store holds core particles only.
+  void build_templates(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                       Counters& counters) {
+    index_blocks(blocks);
+    for (auto& b : blocks) {
+      if (b.store.size() != b.ncore) {
+        throw std::logic_error("build_templates: stale halo particles");
+      }
+    }
+    for (int d = 0; d < D; ++d) {
+      // Phase A: choose what to send based on pre-dim-d state.
+      local_payloads_.clear();
+      for (std::size_t k = 0; k < blocks.size(); ++k) {
+        auto& b = blocks[k];
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          configure_side(b, d, s, side);
+          if (side.nb_block < 0) continue;
+          side.send.clear();
+          const auto pos = b.store.cpositions();
+          for (std::size_t idx = 0; idx < pos.size(); ++idx) {
+            const double x = pos[idx][d];
+            const bool near = s == 0 ? x < b.lo[d] + rc_ : x >= b.hi[d] - rc_;
+            if (near) side.send.add(static_cast<std::int32_t>(idx));
+          }
+          dispatch(comm, counters, b, d, s, side);
+        }
+      }
+      // Phase B: deliver, appending halo copies.
+      for (auto& b : blocks) {
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          if (side.nb_block < 0) {
+            side.recv_offset = b.store.size();
+            side.recv_count = 0;
+            continue;
+          }
+          const std::vector<Vec<D>> payload = collect(comm, b, d, s, side);
+          side.recv_offset = b.store.size();
+          side.recv_count = payload.size();
+          for (const auto& x : payload) b.store.push_back(x, Vec<D>{}, -1);
+        }
+      }
+    }
+  }
+
+  // Refresh halo positions using the templates built at the last rebuild.
+  void swap_positions(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                      Counters& counters) {
+    for (int d = 0; d < D; ++d) {
+      local_payloads_.clear();
+      for (auto& b : blocks) {
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          if (side.nb_block < 0) continue;
+          dispatch(comm, counters, b, d, s, side);
+        }
+      }
+      for (auto& b : blocks) {
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          if (side.nb_block < 0) continue;
+          const std::vector<Vec<D>> payload = collect(comm, b, d, s, side);
+          if (payload.size() != side.recv_count) {
+            throw std::logic_error("swap_positions: halo count changed");
+          }
+          auto pos = b.store.positions();
+          std::copy(payload.begin(), payload.end(),
+                    pos.begin() + static_cast<std::ptrdiff_t>(side.recv_offset));
+        }
+      }
+    }
+  }
+
+ private:
+  void index_blocks(const std::vector<BlockDomain<D>>& blocks) {
+    local_of_.clear();
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+      local_of_[blocks[k].index] = k;
+    }
+  }
+
+  void configure_side(const BlockDomain<D>& b, int d, int s,
+                      typename BlockDomain<D>::HaloSide& side) const {
+    side.nb_block = layout_.neighbor_block(b.coords, d, s, bc_.periodic());
+    if (side.nb_block < 0) {
+      side.nb_rank = -1;
+      side.shift = 0.0;
+      return;
+    }
+    side.nb_rank = layout_.owner_rank(layout_.block_coords(side.nb_block));
+    // Crossing the global periodic boundary shifts the copies by a box
+    // length so block-local geometry never needs minimum-image arithmetic.
+    side.shift = 0.0;
+    if (s == 0 && b.coords[d] == 0) {
+      side.shift = bc_.box()[d];
+    } else if (s == 1 && b.coords[d] == layout_.block_dims()[d] - 1) {
+      side.shift = -bc_.box()[d];
+    }
+  }
+
+  // Pack side.send (applying the shift) and hand the payload to the
+  // destination: an mp message for remote blocks, an in-memory stash for
+  // blocks of the same rank.
+  void dispatch(mp::Comm& comm, Counters& counters, const BlockDomain<D>& b,
+                int d, int s, const typename BlockDomain<D>::HaloSide& side) {
+    std::vector<Vec<D>> payload = side.send.pack(b.store.cpositions());
+    if (side.shift != 0.0) {
+      for (auto& x : payload) x[d] += side.shift;
+    }
+    const int dest_side = 1 - s;
+    if (side.nb_rank == comm.rank()) {
+      ++counters.msgs_local;
+      counters.bytes_local += payload.size() * sizeof(Vec<D>);
+      local_payloads_[key(side.nb_block, d, dest_side)] = std::move(payload);
+    } else {
+      comm.send(side.nb_rank, halo_tag(side.nb_block, d, dest_side),
+                std::span<const Vec<D>>(payload));
+    }
+  }
+
+  // Counterpart of dispatch: the payload arriving at block b's (d, s) face.
+  std::vector<Vec<D>> collect(mp::Comm& comm, const BlockDomain<D>& b, int d,
+                              int s,
+                              const typename BlockDomain<D>::HaloSide& side) {
+    if (side.nb_rank == comm.rank()) {
+      auto it = local_payloads_.find(key(b.index, d, s));
+      if (it == local_payloads_.end()) {
+        throw std::logic_error("collect: missing local halo payload");
+      }
+      std::vector<Vec<D>> payload = std::move(it->second);
+      local_payloads_.erase(it);
+      return payload;
+    }
+    return comm.template recv<Vec<D>>(side.nb_rank, halo_tag(b.index, d, s));
+  }
+
+  static std::uint64_t key(int block, int d, int s) {
+    return (static_cast<std::uint64_t>(block) * 8 + static_cast<unsigned>(d)) *
+               2 +
+           static_cast<unsigned>(s);
+  }
+
+  DecompLayout<D> layout_;
+  Boundary<D> bc_;
+  double rc_;
+  std::unordered_map<int, std::size_t> local_of_;
+  std::unordered_map<std::uint64_t, std::vector<Vec<D>>> local_payloads_;
+};
+
+}  // namespace hdem

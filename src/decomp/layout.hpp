@@ -1,0 +1,157 @@
+// Block-cyclic domain decomposition layout.
+//
+// "A general block-cyclic distribution was chosen to enable a clustered
+// simulation to be load-balanced by adjusting the granularity
+// appropriately."  The domain is cut into a D-dimensional grid of blocks;
+// block (c_0..c_{D-1}) belongs to the process at Cartesian coordinates
+// (c_d mod P_d).  Granularity is the number of blocks per process B/P.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mp/cart.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+class DecompLayout {
+ public:
+  DecompLayout() = default;
+
+  DecompLayout(const std::array<int, D>& proc_dims,
+               const std::array<int, D>& block_dims)
+      : proc_dims_(proc_dims), block_dims_(block_dims) {
+    nprocs_ = 1;
+    nblocks_ = 1;
+    for (int d = 0; d < D; ++d) {
+      if (proc_dims[d] < 1 || block_dims[d] < 1) {
+        throw std::invalid_argument("DecompLayout: dims must be >= 1");
+      }
+      if (block_dims[d] % proc_dims[d] != 0) {
+        throw std::invalid_argument(
+            "DecompLayout: block grid must be a per-dimension multiple of "
+            "the process grid");
+      }
+      nprocs_ *= proc_dims_[d];
+      nblocks_ *= block_dims_[d];
+    }
+  }
+
+  // Balanced process grid for P ranks and block grid giving (as close as
+  // possible) `blocks_per_proc` blocks per rank; blocks_per_proc is
+  // factorised into near-equal per-dimension multipliers.
+  static DecompLayout make(int nprocs, int blocks_per_proc) {
+    const auto pd = mp::balanced_dims<D>(nprocs);
+    const auto gd = mp::balanced_dims<D>(blocks_per_proc);
+    std::array<int, D> bd{};
+    for (int d = 0; d < D; ++d) bd[d] = pd[d] * gd[d];
+    return DecompLayout(pd, bd);
+  }
+
+  int nprocs() const { return nprocs_; }
+  int nblocks() const { return nblocks_; }
+  int blocks_per_proc() const { return nblocks_ / nprocs_; }
+  const std::array<int, D>& proc_dims() const { return proc_dims_; }
+  const std::array<int, D>& block_dims() const { return block_dims_; }
+
+  // -- block indexing (row-major, last dimension fastest) -------------------
+  int block_index(const std::array<int, D>& c) const {
+    int idx = 0;
+    for (int d = 0; d < D; ++d) idx = idx * block_dims_[d] + c[d];
+    return idx;
+  }
+
+  std::array<int, D> block_coords(int idx) const {
+    std::array<int, D> c{};
+    for (int d = D - 1; d >= 0; --d) {
+      c[d] = idx % block_dims_[d];
+      idx /= block_dims_[d];
+    }
+    return c;
+  }
+
+  // Rank owning a block: the cyclic assignment.
+  int owner_rank(const std::array<int, D>& block) const {
+    int r = 0;
+    for (int d = 0; d < D; ++d) r = r * proc_dims_[d] + block[d] % proc_dims_[d];
+    return r;
+  }
+
+  // Global block coordinates of every block owned by `rank`, in a fixed
+  // deterministic order.
+  std::vector<std::array<int, D>> blocks_of_rank(int rank) const {
+    std::vector<std::array<int, D>> out;
+    for (int b = 0; b < nblocks_; ++b) {
+      const auto c = block_coords(b);
+      if (owner_rank(c) == rank) out.push_back(c);
+    }
+    return out;
+  }
+
+  // Neighbour block in dimension `dim`, direction dir (0 = minus,
+  // 1 = plus).  Returns -1 beyond a non-periodic domain edge; wraps when
+  // periodic.
+  int neighbor_block(const std::array<int, D>& c, int dim, int dir,
+                     bool periodic) const {
+    std::array<int, D> n = c;
+    n[dim] += dir == 0 ? -1 : 1;
+    if (n[dim] < 0 || n[dim] >= block_dims_[dim]) {
+      if (!periodic) return -1;
+      n[dim] = (n[dim] + block_dims_[dim]) % block_dims_[dim];
+    }
+    return block_index(n);
+  }
+
+  // -- geometry ---------------------------------------------------------------
+  Vec<D> block_width(const Vec<D>& box) const {
+    Vec<D> w;
+    for (int d = 0; d < D; ++d) w[d] = box[d] / block_dims_[d];
+    return w;
+  }
+
+  Vec<D> block_lo(const std::array<int, D>& c, const Vec<D>& box) const {
+    const Vec<D> w = block_width(box);
+    Vec<D> lo;
+    for (int d = 0; d < D; ++d) lo[d] = c[d] * w[d];
+    return lo;
+  }
+
+  // Block containing a position (components clamped to the grid).
+  std::array<int, D> block_of_position(const Vec<D>& x,
+                                       const Vec<D>& box) const {
+    const Vec<D> w = block_width(box);
+    std::array<int, D> c{};
+    for (int d = 0; d < D; ++d) {
+      int k = static_cast<int>(x[d] / w[d]);
+      if (k < 0) k = 0;
+      if (k >= block_dims_[d]) k = block_dims_[d] - 1;
+      c[d] = k;
+    }
+    return c;
+  }
+
+  // Every block must be at least one cutoff wide so halos only involve
+  // adjacent blocks.
+  void validate(const SimConfig<D>& cfg) const {
+    const Vec<D> w = block_width(cfg.box);
+    for (int d = 0; d < D; ++d) {
+      if (w[d] < cfg.cutoff()) {
+        throw std::invalid_argument(
+            "DecompLayout: block narrower than the cutoff");
+      }
+    }
+  }
+
+ private:
+  std::array<int, D> proc_dims_{};
+  std::array<int, D> block_dims_{};
+  int nprocs_ = 0;
+  int nblocks_ = 0;
+};
+
+}  // namespace hdem

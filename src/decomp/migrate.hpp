@@ -1,0 +1,100 @@
+// Particle migration at link-list rebuilds.
+//
+// "At this point, particles that have moved outside the core region are
+// moved to their new home process, the halos are recalculated and swapped,
+// and a new list of links is constructed."  Destination blocks are
+// computed directly from (wrapped) positions, so a particle that crossed
+// more than one block boundary still lands correctly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/counters.hpp"
+#include "decomp/block.hpp"
+#include "decomp/layout.hpp"
+#include "mp/comm.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+template <int D>
+struct Migrant {
+  std::int32_t dest_block;
+  std::int32_t id;
+  Vec<D> pos;
+  Vec<D> vel;
+};
+
+// Re-home particles that left their block.  On entry, each block's store
+// must hold core particles only (halos already truncated); on exit, cores
+// are consistent and ncore is updated.  Collective: every rank must call.
+template <int D>
+void migrate_particles(std::vector<BlockDomain<D>>& blocks,
+                       const DecompLayout<D>& layout, const Boundary<D>& bc,
+                       mp::Comm& comm, Counters& counters) {
+  static_assert(std::is_trivially_copyable_v<Migrant<D>>);
+  std::unordered_map<int, std::size_t> local_of;
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    local_of[blocks[k].index] = k;
+  }
+
+  std::vector<std::vector<std::byte>> outgoing(
+      static_cast<std::size_t>(comm.size()));
+  std::uint64_t moved = 0;
+
+  for (auto& b : blocks) {
+    if (b.store.size() != b.ncore) {
+      throw std::logic_error("migrate_particles: halos not truncated");
+    }
+    std::size_t idx = 0;
+    while (idx < b.store.size()) {
+      bc.wrap(b.store.pos(idx));
+      if (b.contains(b.store.pos(idx))) {
+        ++idx;
+        continue;
+      }
+      const auto dest_coords = layout.block_of_position(b.store.pos(idx), bc.box());
+      Migrant<D> m;
+      m.dest_block = layout.block_index(dest_coords);
+      m.id = b.store.id(idx);
+      m.pos = b.store.pos(idx);
+      m.vel = b.store.vel(idx);
+      const int dest_rank = layout.owner_rank(dest_coords);
+      auto& buf = outgoing[static_cast<std::size_t>(dest_rank)];
+      const std::size_t off = buf.size();
+      buf.resize(off + sizeof(Migrant<D>));
+      std::memcpy(buf.data() + off, &m, sizeof(Migrant<D>));
+      b.store.swap_remove(idx);
+      ++moved;
+      // do not advance idx: the swapped-in particle needs checking too
+    }
+    b.ncore = b.store.size();
+  }
+
+  const auto incoming = comm.alltoall(std::move(outgoing));
+  for (const auto& buf : incoming) {
+    if (buf.size() % sizeof(Migrant<D>) != 0) {
+      throw std::logic_error("migrate_particles: torn migrant buffer");
+    }
+    const std::size_t n = buf.size() / sizeof(Migrant<D>);
+    for (std::size_t k = 0; k < n; ++k) {
+      Migrant<D> m;
+      std::memcpy(&m, buf.data() + k * sizeof(Migrant<D>), sizeof(Migrant<D>));
+      const auto it = local_of.find(m.dest_block);
+      if (it == local_of.end()) {
+        throw std::logic_error("migrate_particles: migrant for foreign block");
+      }
+      auto& b = blocks[it->second];
+      b.store.push_back(m.pos, m.vel, m.id);
+      b.ncore = b.store.size();
+    }
+  }
+  counters.migrated_particles += moved;
+}
+
+}  // namespace hdem

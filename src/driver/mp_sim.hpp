@@ -1,0 +1,434 @@
+// Message-passing and hybrid driver.
+//
+// Pure message passing (nthreads = 1): the paper's MPI implementation —
+// block-cyclic domain decomposition, per-block halo swaps with indexed
+// templates, migration at rebuilds, global reductions for energies and the
+// rebuild criterion.
+//
+// Hybrid (nthreads > 1): "The domain decomposition gives each MPI process
+// a set of blocks with accompanying halos.  The OpenMP parallelisation
+// occurs lower down at the level of loops over the links or particles
+// within each block, so MPI communications never take place within a
+// parallel region."  Each rank owns a thread team; per-block force and
+// update loops run on the team (one parallel region per block per loop,
+// reproducing the hybrid overhead structure the paper analyses), while all
+// communication is performed by the master thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/config.hpp"
+#include "core/counters.hpp"
+#include "core/dynamics.hpp"
+#include "core/force_model.hpp"
+#include "core/init.hpp"
+#include "decomp/block.hpp"
+#include "decomp/halo.hpp"
+#include "decomp/layout.hpp"
+#include "decomp/migrate.hpp"
+#include "mp/comm.hpp"
+#include "reduction/force_pass.hpp"
+#include "smp/thread_team.hpp"
+#include "trace/tracer.hpp"
+
+namespace hdem {
+
+// StateRecord (core/init.hpp) is the snapshot type gather_state returns.
+
+template <int D, class Model = ElasticSphere>
+class MpSim {
+ public:
+  struct Options {
+    int nthreads = 1;  // > 1 selects the hybrid scheme
+    ReductionKind reduction = ReductionKind::kSelectedAtomic;
+    // The paper's Section 11 proposal: "a single parallel loop over all
+    // links in all blocks rather than one loop per block", reducing both
+    // the per-block fork/join overhead and the inter-thread dependencies
+    // (a thread's contiguous global link range covers whole blocks most of
+    // the time).  Only meaningful for the hybrid scheme with an
+    // atomic-family reduction.
+    bool fused = false;
+  };
+
+  MpSim(const SimConfig<D>& cfg, const DecompLayout<D>& layout,
+        mp::Comm& comm, const Model& model,
+        std::span<const ParticleInit<D>> global_particles,
+        Options opts = {})
+      : cfg_(cfg),
+        layout_(layout),
+        comm_(&comm),
+        model_(model),
+        boundary_(cfg.bc, cfg.box),
+        halo_(layout, boundary_, cfg.cutoff()),
+        opts_(opts) {
+    cfg_.validate();
+    layout_.validate(cfg_);
+    if (layout_.nprocs() != comm.size()) {
+      throw std::invalid_argument("MpSim: layout rank count != comm size");
+    }
+    if (opts_.nthreads < 1) {
+      throw std::invalid_argument("MpSim: nthreads < 1");
+    }
+    if (opts_.fused && opts_.nthreads < 2) {
+      throw std::invalid_argument("MpSim: fused mode requires a thread team");
+    }
+    if (opts_.fused && opts_.reduction != ReductionKind::kAtomicAll &&
+        opts_.reduction != ReductionKind::kSelectedAtomic &&
+        opts_.reduction != ReductionKind::kNoLock) {
+      throw std::invalid_argument(
+          "MpSim: fused mode supports the atomic-family reductions only "
+          "(private-array strategies need per-block merge phases)");
+    }
+    if (opts_.nthreads > 1) {
+      team_ = std::make_unique<smp::ThreadTeam>(opts_.nthreads);
+    }
+
+    // Instantiate this rank's blocks and adopt its share of the global
+    // initial condition (every rank scans the same deterministic list).
+    const Vec<D> rc_vec(cfg_.cutoff());
+    for (const auto& coords : layout_.blocks_of_rank(comm.rank())) {
+      BlockDomain<D> b;
+      b.coords = coords;
+      b.index = layout_.block_index(coords);
+      b.lo = layout_.block_lo(coords, cfg_.box);
+      b.hi = b.lo + layout_.block_width(cfg_.box);
+      blocks_.push_back(std::move(b));
+    }
+    for (std::size_t i = 0; i < global_particles.size(); ++i) {
+      const auto& p = global_particles[i];
+      const auto c = layout_.block_of_position(p.pos, cfg_.box);
+      if (layout_.owner_rank(c) != comm.rank()) continue;
+      const int bi = layout_.block_index(c);
+      for (auto& b : blocks_) {
+        if (b.index == bi) {
+          b.store.push_back(p.pos, p.vel, static_cast<std::int32_t>(i));
+          b.ncore = b.store.size();
+          break;
+        }
+      }
+    }
+    counters_.blocks = blocks_.size();
+    if (team_) accs_.resize(blocks_.size());
+    rebuild();
+  }
+
+  bool hybrid() const { return team_ != nullptr; }
+
+  void step() {
+    if (!list_valid()) rebuild();
+    trace::Scope iteration(trace::Phase::kIteration, comm_->rank());
+    {
+      trace::Scope scope(trace::Phase::kHaloSwap, comm_->rank());
+      halo_.swap_positions(blocks_, *comm_, counters_);
+    }
+    auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
+
+    potential_ = 0.0;
+    double max_v = 0.0;
+    if (team_ && opts_.fused) {
+      {
+        trace::Scope scope(trace::Phase::kForce, comm_->rank());
+        potential_ = fused_force_pass();
+      }
+      {
+        trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
+        max_v = fused_update_positions();
+      }
+      trace::Scope scope(trace::Phase::kCollective, comm_->rank());
+      const double gmax_f = comm_->allreduce(max_v, mp::Op::kMax);
+      drift_ += gmax_f * cfg_.dt;
+      ++counters_.iterations;
+      return;
+    }
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      auto& b = blocks_[k];
+      if (team_) {
+        {
+          trace::Scope scope(trace::Phase::kForce, comm_->rank());
+          potential_ += dispatch_force_pass<D>(accs_[k], *team_, b.links,
+                                               b.store, model_, disp,
+                                               &counters_);
+        }
+        trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
+        const double v = smp_update_positions(*team_, b.store, b.ncore,
+                                              cfg_.dt, cfg_.gravity,
+                                              boundary_, &counters_);
+        if (v > max_v) max_v = v;
+      } else {
+        {
+          trace::Scope scope(trace::Phase::kForce, comm_->rank());
+          zero_forces(b.store);
+          potential_ += accumulate_forces<D>(b.links.core(), b.store, model_,
+                                             disp, /*update_both=*/true, 1.0,
+                                             &counters_);
+          potential_ += accumulate_forces<D>(b.links.halo(), b.store, model_,
+                                             disp, /*update_both=*/false, 0.5,
+                                             &counters_);
+        }
+        trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
+        const double v = kick_drift(b.store, b.ncore, cfg_.dt, cfg_.gravity,
+                                    boundary_, &counters_);
+        if (v > max_v) max_v = v;
+      }
+    }
+
+    // The rebuild criterion must be a global decision: take the worldwide
+    // maximum speed (also how the paper's global quantities are formed —
+    // reduced per block, then across processes).
+    trace::Scope collective_scope(trace::Phase::kCollective, comm_->rank());
+    const double gmax = comm_->allreduce(max_v, mp::Op::kMax);
+    drift_ += gmax * cfg_.dt;
+    ++counters_.iterations;
+  }
+
+  void run(std::uint64_t iterations) {
+    for (std::uint64_t i = 0; i < iterations; ++i) step();
+  }
+
+  bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
+
+  void rebuild() {
+    for (auto& b : blocks_) b.store.truncate(b.ncore);
+    {
+      trace::Scope scope(trace::Phase::kMigrate, comm_->rank());
+      migrate_particles(blocks_, layout_, boundary_, *comm_, counters_);
+    }
+
+    const Vec<D> rc_vec(cfg_.cutoff());
+    for (auto& b : blocks_) {
+      b.grid.configure(b.lo - rc_vec, b.hi + rc_vec, cfg_.cutoff(),
+                       no_wrap());
+      b.grid.bin(b.store.positions(), b.ncore);
+      if (cfg_.reorder) {
+        b.store.apply_permutation(b.grid.order(), b.ncore);
+        b.grid.reset_order_to_identity();
+        ++counters_.reorders;
+      }
+    }
+    {
+      trace::Scope scope(trace::Phase::kHaloBuild, comm_->rank());
+      halo_.build_templates(blocks_, *comm_, counters_);
+    }
+
+    counters_.links_core = 0;
+    counters_.links_halo = 0;
+    counters_.halo_particles = 0;
+    counters_.particles = 0;
+    auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
+    trace::Scope link_scope(trace::Phase::kLinkBuild, comm_->rank());
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      auto& b = blocks_[k];
+      b.grid.bin(b.store.positions(), b.store.size());
+      build_links(b.links, b.grid, b.store.cpositions(), b.ncore,
+                  cfg_.cutoff(), disp, nullptr);
+      record_link_stats(b.links, counters_);
+      counters_.halo_particles += b.halo_count();
+      counters_.particles += b.ncore;
+    }
+    if (team_) prepare_team_accumulators();
+    drift_ = 0.0;
+    ++counters_.rebuilds;
+  }
+
+  // -- energies (collective: every rank must call together) -----------------
+  double local_potential() const { return potential_; }
+  double local_kinetic() const {
+    double ke = 0.0;
+    for (const auto& b : blocks_) ke += kinetic_energy(b.store, b.ncore);
+    return ke;
+  }
+  double global_potential() { return reduce_energy(local_potential()); }
+  double global_kinetic() { return reduce_energy(local_kinetic()); }
+  double global_energy() {
+    return reduce_energy(local_potential() + local_kinetic());
+  }
+
+  // Full particle state at the root rank, sorted by id (empty elsewhere).
+  // Collective.
+  std::vector<StateRecord<D>> gather_state(int root = 0) {
+    std::vector<StateRecord<D>> mine;
+    for (const auto& b : blocks_) {
+      for (std::size_t i = 0; i < b.ncore; ++i) {
+        mine.push_back({b.store.id(i), b.store.pos(i), b.store.vel(i)});
+      }
+    }
+    auto all = comm_->gatherv(std::span<const StateRecord<D>>(mine), root);
+    std::sort(all.begin(), all.end(),
+              [](const StateRecord<D>& a, const StateRecord<D>& b) {
+                return a.id < b.id;
+              });
+    return all;
+  }
+
+  // This rank's counters including communication and (hybrid) team
+  // synchronisation tallies.
+  Counters counters() const {
+    Counters c = counters_;
+    const Counters& mc = comm_->counters();
+    c.msgs_sent = mc.msgs_sent;
+    c.bytes_sent = mc.bytes_sent;
+    c.collectives = mc.collectives;
+    if (team_) {
+      c.parallel_regions = team_->regions();
+      c.barriers = team_->barriers();
+      c.critical_sections = team_->criticals();
+    }
+    return c;
+  }
+
+  const std::vector<BlockDomain<D>>& blocks() const { return blocks_; }
+  const DecompLayout<D>& layout() const { return layout_; }
+  const SimConfig<D>& config() const { return cfg_; }
+  mp::Comm& comm() { return *comm_; }
+
+ private:
+  void prepare_team_accumulators() {
+    // Global prefix offsets of each block's links / core particles, used
+    // by the fused scheme's single static partitions.
+    link_offset_.assign(blocks_.size() + 1, 0);
+    core_offset_.assign(blocks_.size() + 1, 0);
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      link_offset_[k + 1] =
+          link_offset_[k] + static_cast<std::int64_t>(blocks_[k].links.size());
+      core_offset_[k + 1] =
+          core_offset_[k] + static_cast<std::int64_t>(blocks_[k].ncore);
+    }
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      auto& b = blocks_[k];
+      accs_[k] = make_accumulator<D>(opts_.reduction);
+      if (opts_.fused) {
+        std::visit(
+            [&](auto& a) {
+              using T = std::decay_t<decltype(a)>;
+              if constexpr (std::is_same_v<T, SelectedAtomicAccumulator<D>>) {
+                a.prepare_global(team_->size(),
+                                 std::span<const Link>(b.links.links),
+                                 b.links.n_core, b.ncore, link_offset_[k],
+                                 link_offset_.back());
+              } else {
+                a.prepare(team_->size(), std::span<const Link>(b.links.links),
+                          b.links.n_core, b.ncore);
+              }
+            },
+            accs_[k]);
+      } else {
+        prepare_accumulator<D>(accs_[k], team_->size(), b.links, b.ncore);
+      }
+    }
+  }
+
+  // One parallel region for the whole rank: zero every block's forces,
+  // barrier, then each thread walks its share of the single global link
+  // range, dispatching into the owning blocks.  (Section 11: "a single
+  // parallel loop over all links in all blocks rather than one loop per
+  // block".)
+  double fused_force_pass() {
+    const int t_count = team_->size();
+    std::vector<double> pe(static_cast<std::size_t>(t_count) * 8, 0.0);
+    std::vector<std::uint64_t> contacts(static_cast<std::size_t>(t_count) * 8,
+                                        0);
+    const std::int64_t total = link_offset_.back();
+    team_->parallel([&](int tid) {
+      for (auto& b : blocks_) {
+        const auto r = smp::static_block(
+            0, static_cast<std::int64_t>(b.store.size()), tid, t_count);
+        auto frc = b.store.forces();
+        for (std::int64_t i = r.lo; i < r.hi; ++i) {
+          frc[static_cast<std::size_t>(i)] = Vec<D>{};
+        }
+      }
+      team_->barrier();
+      const auto g = smp::static_block(0, total, tid, t_count);
+      double my_pe = 0.0;
+      std::uint64_t my_contacts = 0;
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        const std::int64_t lo = std::max(g.lo, link_offset_[k]);
+        const std::int64_t hi = std::min(g.hi, link_offset_[k + 1]);
+        if (lo >= hi) continue;
+        auto& b = blocks_[k];
+        std::visit(
+            [&](auto& a) {
+              my_pe += fused_force_range<D>(
+                  b.links, lo - link_offset_[k], hi - link_offset_[k],
+                  b.store, model_, a, tid, my_contacts);
+            },
+            accs_[k]);
+      }
+      pe[static_cast<std::size_t>(tid) * 8] = my_pe;
+      contacts[static_cast<std::size_t>(tid) * 8] = my_contacts;
+    });
+    double total_pe = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      total_pe += pe[static_cast<std::size_t>(t) * 8];
+      counters_.contacts += contacts[static_cast<std::size_t>(t) * 8];
+    }
+    counters_.force_evals += static_cast<std::uint64_t>(total);
+    for (auto& acc : accs_) {
+      std::visit([&](auto& a) { a.collect(counters_); }, acc);
+    }
+    return total_pe;
+  }
+
+  // One parallel region over the global core-particle range.
+  double fused_update_positions() {
+    const int t_count = team_->size();
+    std::vector<double> max_v(static_cast<std::size_t>(t_count) * 8, 0.0);
+    const std::int64_t total = core_offset_.back();
+    team_->parallel([&](int tid) {
+      const auto g = smp::static_block(0, total, tid, t_count);
+      double my_max = 0.0;
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        const std::int64_t lo = std::max(g.lo, core_offset_[k]);
+        const std::int64_t hi = std::min(g.hi, core_offset_[k + 1]);
+        if (lo >= hi) continue;
+        const double v = kick_drift_range(
+            blocks_[k].store, static_cast<std::size_t>(lo - core_offset_[k]),
+            static_cast<std::size_t>(hi - core_offset_[k]), cfg_.dt,
+            cfg_.gravity, boundary_, nullptr);
+        if (v > my_max) my_max = v;
+      }
+      max_v[static_cast<std::size_t>(tid) * 8] = my_max;
+    });
+    double out = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      out = std::max(out, max_v[static_cast<std::size_t>(t) * 8]);
+    }
+    counters_.position_updates += static_cast<std::uint64_t>(total);
+    return out;
+  }
+
+  static std::array<bool, D> no_wrap() {
+    std::array<bool, D> w{};
+    w.fill(false);
+    return w;
+  }
+
+  double reduce_energy(double local) {
+    return comm_->allreduce(local, mp::Op::kSum);
+  }
+
+  SimConfig<D> cfg_;
+  DecompLayout<D> layout_;
+  mp::Comm* comm_;
+  Model model_;
+  Boundary<D> boundary_;
+  HaloExchanger<D> halo_;
+  Options opts_;
+  std::unique_ptr<smp::ThreadTeam> team_;
+  std::vector<AnyAccumulator<D>> accs_;
+  std::vector<BlockDomain<D>> blocks_;
+  // Global prefix offsets for the fused scheme's single static partitions.
+  std::vector<std::int64_t> link_offset_;
+  std::vector<std::int64_t> core_offset_;
+  double potential_ = 0.0;
+  double drift_ = 0.0;
+  Counters counters_;
+};
+
+}  // namespace hdem

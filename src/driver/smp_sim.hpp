@@ -1,0 +1,176 @@
+// Shared-memory driver: the paper's pure OpenMP implementation.
+//
+// One undecomposed domain; the force loop is parallelised over *links*
+// with a static block schedule (automatically load-balanced "since the
+// work is tied directly to the links rather than the particles"), the
+// position update over particles, and link generation over cells.  The
+// force-array update conflict is resolved by a selectable strategy
+// (src/reduction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/cell_grid.hpp"
+#include "core/config.hpp"
+#include "core/counters.hpp"
+#include "core/dynamics.hpp"
+#include "core/force_model.hpp"
+#include "core/init.hpp"
+#include "core/link_list.hpp"
+#include "core/particle_store.hpp"
+#include "reduction/force_pass.hpp"
+#include "smp/thread_team.hpp"
+
+namespace hdem {
+
+template <int D, class Model = ElasticSphere>
+class SmpSim {
+ public:
+  SmpSim(const SimConfig<D>& cfg, const Model& model,
+         std::span<const ParticleInit<D>> particles, int nthreads,
+         ReductionKind reduction)
+      : cfg_(cfg),
+        model_(model),
+        boundary_(cfg.bc, cfg.box),
+        team_(nthreads),
+        reduction_kind_(reduction),
+        acc_(make_accumulator<D>(reduction)) {
+    cfg_.validate();
+    store_.reserve(particles.size());
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      store_.push_back(particles[i].pos, particles[i].vel,
+                       static_cast<std::int32_t>(i));
+    }
+    counters_.particles = particles.size();
+    rebuild();
+  }
+
+  static SmpSim make_random(const SimConfig<D>& cfg, const Model& model,
+                            std::uint64_t n, int nthreads,
+                            ReductionKind reduction) {
+    const auto init = uniform_random_particles(cfg, n);
+    return SmpSim(cfg, model, init, nthreads, reduction);
+  }
+
+  void step() {
+    if (!list_valid()) rebuild();
+    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
+      return boundary_.displacement(a, b);
+    };
+    potential_ = dispatch_force_pass<D>(acc_, team_, links_, store_, model_,
+                                        disp, &counters_);
+    const double max_v = smp_update_positions(
+        team_, store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
+        &counters_);
+    drift_ += max_v * cfg_.dt;
+    ++counters_.iterations;
+  }
+
+  void run(std::uint64_t iterations) {
+    for (std::uint64_t i = 0; i < iterations; ++i) step();
+  }
+
+  bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
+
+  void rebuild() {
+    // Wrap positions (parallel over particles).
+    team_.parallel_for(0, static_cast<std::int64_t>(store_.size()),
+                       [&](int, std::int64_t lo, std::int64_t hi) {
+                         auto pos = store_.positions();
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           boundary_.wrap(pos[static_cast<std::size_t>(i)]);
+                         }
+                       });
+    grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
+    // The counting sort has a serial scan; the paper likewise reports that
+    // link generation "scales rather poorly" and is not time-critical.
+    grid_.bin(store_.positions(), store_.size());
+    if (cfg_.reorder) {
+      store_.apply_permutation(grid_.order(), store_.size());
+      grid_.reset_order_to_identity();
+      ++counters_.reorders;
+    }
+    parallel_build_links();
+    prepare_accumulator<D>(acc_, team_.size(), links_, store_.size());
+    drift_ = 0.0;
+    ++counters_.rebuilds;
+  }
+
+  double potential_energy() const { return potential_; }
+  double kinetic() const { return kinetic_energy(store_, store_.size()); }
+  double total_energy() const { return potential_ + kinetic(); }
+
+  const SimConfig<D>& config() const { return cfg_; }
+  ParticleStore<D>& store() { return store_; }
+  const ParticleStore<D>& store() const { return store_; }
+  const LinkList& links() const { return links_; }
+  smp::ThreadTeam& team() { return team_; }
+  ReductionKind reduction_kind() const { return reduction_kind_; }
+
+  // Counters including the team's synchronisation tallies.
+  Counters counters() const {
+    Counters c = counters_;
+    c.parallel_regions = team_.regions();
+    c.barriers = team_.barriers();
+    c.critical_sections = team_.criticals();
+    return c;
+  }
+
+ private:
+  std::array<bool, D> wrap_flags() const {
+    std::array<bool, D> w{};
+    w.fill(boundary_.periodic());
+    return w;
+  }
+
+  // Link generation parallelised over cells: each thread builds links for
+  // a contiguous cell range into private buffers, which are then spliced
+  // (core links first, halo links after — here there are no halo links).
+  void parallel_build_links() {
+    const int t_count = team_.size();
+    per_thread_core_.assign(static_cast<std::size_t>(t_count), {});
+    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
+      return boundary_.displacement(a, b);
+    };
+    team_.parallel_for(
+        0, grid_.ncells(), [&](int tid, std::int64_t lo, std::int64_t hi) {
+          std::vector<Link> halo;  // stays empty: every particle is core
+          build_links_range(grid_, store_.cpositions(), store_.size(),
+                            cfg_.cutoff(), disp, static_cast<std::int32_t>(lo),
+                            static_cast<std::int32_t>(hi),
+                            per_thread_core_[static_cast<std::size_t>(tid)],
+                            halo);
+        });
+    links_.clear();
+    std::size_t total = 0;
+    for (const auto& v : per_thread_core_) total += v.size();
+    links_.links.reserve(total);
+    for (const auto& v : per_thread_core_) {
+      links_.links.insert(links_.links.end(), v.begin(), v.end());
+    }
+    links_.n_core = links_.links.size();
+    counters_.links_core = 0;
+    counters_.links_halo = 0;
+    record_link_stats(links_, counters_);
+  }
+
+  SimConfig<D> cfg_;
+  Model model_;
+  Boundary<D> boundary_;
+  smp::ThreadTeam team_;
+  ReductionKind reduction_kind_;
+  AnyAccumulator<D> acc_;
+  ParticleStore<D> store_;
+  CellGrid<D> grid_;
+  LinkList links_;
+  std::vector<std::vector<Link>> per_thread_core_;
+  double potential_ = 0.0;
+  double drift_ = 0.0;
+  Counters counters_;
+};
+
+}  // namespace hdem

@@ -1,0 +1,100 @@
+// Cartesian process topology (the MPI_Cart_create / MPI_Cart_shift
+// analogue) plus helpers for factorising a rank count into a balanced
+// D-dimensional process grid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace hdem::mp {
+
+// Row-major D-dimensional grid of ranks (last dimension fastest), with
+// optional periodic wrap per dimension.
+template <int D>
+class CartTopology {
+ public:
+  CartTopology() = default;
+  CartTopology(const std::array<int, D>& dims,
+               const std::array<bool, D>& periodic)
+      : dims_(dims), periodic_(periodic) {
+    nranks_ = 1;
+    for (int d = 0; d < D; ++d) {
+      if (dims[d] < 1) throw std::invalid_argument("CartTopology: dim < 1");
+      nranks_ *= dims_[d];
+    }
+  }
+
+  int nranks() const { return nranks_; }
+  const std::array<int, D>& dims() const { return dims_; }
+
+  int rank_of(const std::array<int, D>& coords) const {
+    int r = 0;
+    for (int d = 0; d < D; ++d) {
+      if (coords[d] < 0 || coords[d] >= dims_[d]) {
+        throw std::out_of_range("CartTopology: coords");
+      }
+      r = r * dims_[d] + coords[d];
+    }
+    return r;
+  }
+
+  std::array<int, D> coords_of(int rank) const {
+    std::array<int, D> c{};
+    for (int d = D - 1; d >= 0; --d) {
+      c[d] = rank % dims_[d];
+      rank /= dims_[d];
+    }
+    return c;
+  }
+
+  // Rank displaced by `disp` along dimension `dim`; -1 when the neighbour
+  // falls off a non-periodic edge.
+  int shift(int rank, int dim, int disp) const {
+    std::array<int, D> c = coords_of(rank);
+    c[dim] += disp;
+    if (c[dim] < 0 || c[dim] >= dims_[dim]) {
+      if (!periodic_[dim]) return -1;
+      c[dim] = ((c[dim] % dims_[dim]) + dims_[dim]) % dims_[dim];
+    }
+    return rank_of(c);
+  }
+
+ private:
+  std::array<int, D> dims_{};
+  std::array<bool, D> periodic_{};
+  int nranks_ = 0;
+};
+
+// Factorise n into D factors as close to equal as possible (descending),
+// e.g. balanced_dims<2>(16) = {4,4}, balanced_dims<3>(16) = {4,2,2}.
+// Mirrors MPI_Dims_create.
+template <int D>
+std::array<int, D> balanced_dims(int n) {
+  if (n < 1) throw std::invalid_argument("balanced_dims: n < 1");
+  std::array<int, D> dims;
+  dims.fill(1);
+  // Repeatedly strip the smallest prime factor and give it to the
+  // currently smallest dimension, then sort descending.
+  int rem = n;
+  while (rem > 1) {
+    int p = 2;
+    while (p * p <= rem && rem % p != 0) ++p;
+    if (rem % p != 0) p = rem;  // rem itself is prime
+    int smallest = 0;
+    for (int d = 1; d < D; ++d) {
+      if (dims[d] < dims[smallest]) smallest = d;
+    }
+    dims[smallest] *= p;
+    rem /= p;
+  }
+  // Sort descending so dims[0] >= dims[1] >= ...
+  for (int a = 0; a < D; ++a) {
+    for (int b = a + 1; b < D; ++b) {
+      if (dims[b] > dims[a]) std::swap(dims[a], dims[b]);
+    }
+  }
+  return dims;
+}
+
+}  // namespace hdem::mp

@@ -1,0 +1,78 @@
+#include "mp/comm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace hdem::mp {
+
+void Comm::send_bytes(int dst, int tag, std::span<const std::byte> data) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send_bytes: dst");
+  RawMessage m;
+  m.src = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  ++counters_.msgs_sent;
+  counters_.bytes_sent += data.size();
+  ++msgs_to_[static_cast<std::size_t>(dst)];
+  bytes_to_[static_cast<std::size_t>(dst)] += data.size();
+  world_->mailbox(dst).push(std::move(m));
+}
+
+RawMessage Comm::recv_msg(int src, int tag) {
+  if (src < 0 || src >= size()) throw std::out_of_range("Comm::recv_msg: src");
+  return world_->mailbox(rank_).pop(src, tag);
+}
+
+void Comm::barrier() {
+  ++counters_.collectives;
+  world_->barrier();
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall(
+    std::vector<std::vector<std::byte>> send) {
+  if (static_cast<int>(send.size()) != size()) {
+    throw std::invalid_argument("Comm::alltoall: need one buffer per rank");
+  }
+  ++counters_.collectives;
+  std::vector<std::vector<std::byte>> recv_bufs(
+      static_cast<std::size_t>(size()));
+  // Buffered sends first (cannot block), own contribution moved directly.
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) {
+      recv_bufs[static_cast<std::size_t>(r)] =
+          std::move(send[static_cast<std::size_t>(r)]);
+    } else {
+      send_bytes(r, kTagAlltoall, send[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    recv_bufs[static_cast<std::size_t>(r)] =
+        recv_msg(r, kTagAlltoall).payload;
+  }
+  return recv_bufs;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& body) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(world, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace hdem::mp

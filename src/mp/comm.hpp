@@ -1,0 +1,195 @@
+// Message-passing substrate, part 2: the per-rank communicator.
+//
+// Mirrors the slice of MPI the paper's code uses: point-to-point send /
+// recv / sendrecv with tags, barrier, reductions, broadcast, gather, and
+// an all-to-all used by particle migration.  All payloads are trivially
+// copyable element arrays.  Every send is tallied per destination rank, so
+// the performance model can split traffic into intra-node and inter-node
+// portions for any rank-to-node mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "mp/world.hpp"
+
+namespace hdem::mp {
+
+enum class Op : std::uint8_t { kSum, kMin, kMax };
+
+// Internal tags (user tags must be >= 0).
+inline constexpr int kTagGather = -1;
+inline constexpr int kTagBcast = -2;
+inline constexpr int kTagAlltoall = -3;
+
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {
+    bytes_to_.assign(static_cast<std::size_t>(world.size()), 0);
+    msgs_to_.assign(static_cast<std::size_t>(world.size()), 0);
+  }
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  // ---- point to point ----------------------------------------------------
+  void send_bytes(int dst, int tag, std::span<const std::byte> data);
+  RawMessage recv_msg(int src, int tag);
+
+  template <class T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size_bytes()});
+  }
+
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RawMessage m = recv_msg(src, tag);
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+  // Receive into caller storage; returns the element count (must fit).
+  template <class T>
+  std::size_t recv_into(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RawMessage m = recv_msg(src, tag);
+    const std::size_t n = m.payload.size() / sizeof(T);
+    std::memcpy(out.data(), m.payload.data(), n * sizeof(T));
+    return n;
+  }
+
+  // Matched exchange: buffered send, then receive (deadlock-free because
+  // sends are buffered, like the paper's series of matched sendrecvs).
+  template <class T>
+  std::vector<T> sendrecv(int dst, int send_tag, std::span<const T> data,
+                          int src, int recv_tag) {
+    send(dst, send_tag, data);
+    return recv<T>(src, recv_tag);
+  }
+
+  // ---- collectives ---------------------------------------------------------
+  void barrier();
+
+  template <class T>
+  T allreduce(T value, Op op) {
+    static_assert(std::is_arithmetic_v<T>);
+    ++counters_.collectives;
+    if (size() == 1) return value;
+    // Gather to rank 0 (deterministic rank order), reduce, broadcast.
+    if (rank_ == 0) {
+      T acc = value;
+      for (int r = 1; r < size(); ++r) {
+        const T v = recv<T>(r, kTagGather).at(0);
+        acc = combine(acc, v, op);
+      }
+      for (int r = 1; r < size(); ++r) {
+        send<T>(r, kTagBcast, std::span<const T>(&acc, 1));
+      }
+      return acc;
+    }
+    send<T>(0, kTagGather, std::span<const T>(&value, 1));
+    return recv<T>(0, kTagBcast).at(0);
+  }
+
+  // Concatenation of every rank's contribution, in rank order, delivered
+  // to every rank.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> mine) {
+    ++counters_.collectives;
+    std::vector<T> all;
+    if (rank_ == 0) {
+      all.assign(mine.begin(), mine.end());
+      for (int r = 1; r < size(); ++r) {
+        const auto part = recv<T>(r, kTagGather);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      for (int r = 1; r < size(); ++r) {
+        send<T>(r, kTagBcast, std::span<const T>(all));
+      }
+    } else {
+      send(0, kTagGather, mine);
+      all = recv<T>(0, kTagBcast);
+    }
+    return all;
+  }
+
+  // Concatenation of every rank's contribution at the root only; other
+  // ranks get an empty vector.
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> mine, int root) {
+    ++counters_.collectives;
+    std::vector<T> all;
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) {
+          all.insert(all.end(), mine.begin(), mine.end());
+        } else {
+          const auto part = recv<T>(r, kTagGather);
+          all.insert(all.end(), part.begin(), part.end());
+        }
+      }
+    } else {
+      send(root, kTagGather, mine);
+    }
+    return all;
+  }
+
+  template <class T>
+  std::vector<T> bcast(std::vector<T> data, int root) {
+    ++counters_.collectives;
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != rank_) send<T>(r, kTagBcast, std::span<const T>(data));
+      }
+      return data;
+    }
+    return recv<T>(root, kTagBcast);
+  }
+
+  // Personalised all-to-all of byte buffers (send[r] goes to rank r);
+  // returns the buffers received from each rank.  Used by migration.
+  std::vector<std::vector<std::byte>> alltoall(
+      std::vector<std::vector<std::byte>> send);
+
+  // ---- accounting -----------------------------------------------------------
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  const std::vector<std::uint64_t>& bytes_to() const { return bytes_to_; }
+  const std::vector<std::uint64_t>& msgs_to() const { return msgs_to_; }
+
+ private:
+  template <class T>
+  static T combine(T a, T b, Op op) {
+    switch (op) {
+      case Op::kSum: return a + b;
+      case Op::kMin: return b < a ? b : a;
+      case Op::kMax: return b > a ? b : a;
+    }
+    return a;
+  }
+
+  World* world_;
+  int rank_;
+  Counters counters_;
+  std::vector<std::uint64_t> bytes_to_;
+  std::vector<std::uint64_t> msgs_to_;
+};
+
+// Spawn `nranks` threads each running body(comm) over a fresh World.
+// Propagates the first exception thrown by any rank.  Per-rank traffic
+// tallies can be harvested by the body itself (e.g. copied out under the
+// caller's synchronisation).
+void run(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace hdem::mp

@@ -1,0 +1,59 @@
+// Indexed datatype: the MPI indexed-type analogue used for halo swaps.
+//
+// "For efficiency, we construct MPI indexed data-types for every block
+// which describe the halo data to be sent in each dimension. ... The same
+// MPI types can be used for many iterations until the list of links
+// becomes invalid."  An IndexedType here is the list of element indices to
+// gather from a base array; pack() materialises the strided gather into a
+// contiguous buffer for transmission and the receiver stores it into
+// contiguous halo storage, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hdem::mp {
+
+class IndexedType {
+ public:
+  IndexedType() = default;
+  explicit IndexedType(std::vector<std::int32_t> indices)
+      : indices_(std::move(indices)) {}
+
+  std::size_t count() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  std::span<const std::int32_t> indices() const { return indices_; }
+
+  void clear() { indices_.clear(); }
+  void add(std::int32_t idx) { indices_.push_back(idx); }
+
+  // Gather base[indices[k]] into out[k]; out must hold count() elements.
+  template <class T>
+  void pack(std::span<const T> base, std::span<T> out) const {
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      out[k] = base[static_cast<std::size_t>(indices_[k])];
+    }
+  }
+
+  template <class T>
+  std::vector<T> pack(std::span<const T> base) const {
+    std::vector<T> out(indices_.size());
+    pack(base, std::span<T>(out));
+    return out;
+  }
+
+  // Scatter is the inverse of pack (used in tests and by bidirectional
+  // exchanges that return data to the strided layout).
+  template <class T>
+  void unpack(std::span<const T> in, std::span<T> base) const {
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      base[static_cast<std::size_t>(indices_[k])] = in[k];
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> indices_;
+};
+
+}  // namespace hdem::mp

@@ -1,0 +1,52 @@
+#include "mp/world.hpp"
+
+#include <stdexcept>
+
+namespace hdem::mp {
+
+void Mailbox::push(RawMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+RawMessage Mailbox::pop(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        RawMessage out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+World::World(int nranks) {
+  if (nranks < 1) throw std::invalid_argument("World: nranks < 1");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == size()) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+}  // namespace hdem::mp

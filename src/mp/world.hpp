@@ -1,0 +1,64 @@
+// Message-passing substrate, part 1: the shared world.
+//
+// No MPI library is assumed in this environment, so the library ships its
+// own in-process message-passing runtime: ranks execute as threads of one
+// process and exchange byte messages through per-rank mailboxes with
+// (source, tag) matching and per-pair FIFO ordering — the semantics an MPI
+// port of this code relies on.  Sends are buffered (copy-and-return, like
+// MPI eager mode), so matched sendrecv patterns cannot deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hdem::mp {
+
+struct RawMessage {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+// One rank's incoming message queue.  push() never blocks; pop() blocks
+// until a message matching (src, tag) exists and removes the *earliest*
+// such message, preserving per-(src, tag) FIFO order.
+class Mailbox {
+ public:
+  void push(RawMessage msg);
+  RawMessage pop(int src, int tag);
+
+  // Number of queued messages (diagnostics / leak checks in tests).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RawMessage> queue_;
+};
+
+// State shared by all ranks of one run: the mailboxes and a central
+// barrier.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+  Mailbox& mailbox(int rank) { return *boxes_[static_cast<std::size_t>(rank)]; }
+
+  // Central counting barrier over all ranks.
+  void barrier();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace hdem::mp

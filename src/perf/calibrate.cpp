@@ -1,0 +1,88 @@
+#include "perf/calibrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace hdem::perf {
+
+double calibration_gap_scale(const RunMeasurement& run,
+                             double target_particles) {
+  const double ratio =
+      target_particles / static_cast<double>(run.n_global ? run.n_global : 1);
+  if (ratio <= 1.0) return 1.0;
+  if (!run.reordered) return ratio;
+  const double exponent = (run.D - 1.0) / run.D;
+  return std::pow(ratio, exponent);
+}
+
+CalibrationResult calibrate(const MachineSpec& base,
+                            std::span<const CalibrationObservation> obs,
+                            double target_particles) {
+  if (obs.size() < 3) {
+    throw std::invalid_argument("calibrate: need at least 3 observations");
+  }
+  const std::size_t rows = obs.size();
+  // t_pair, t_pair3, t_update, t_contact, t_mem_l1, t_mem
+  constexpr std::size_t kCols = 6;
+  std::vector<double> x(rows * kCols);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const RunMeasurement& run = obs[r].run;
+    if (run.nprocs != 1 || run.nthreads != 1 || run.iterations == 0) {
+      throw std::invalid_argument("calibrate: observations must be serial");
+    }
+    const double count_scale =
+        target_particles / static_cast<double>(run.n_global);
+    const double links = static_cast<double>(run.agg.force_evals) /
+                         static_cast<double>(run.iterations) * count_scale;
+    const double contacts = static_cast<double>(run.agg.contacts) /
+                            static_cast<double>(run.iterations) * count_scale;
+    const double updates = static_cast<double>(run.agg.position_updates) /
+                           static_cast<double>(run.iterations) * count_scale;
+    const double gap_scale = calibration_gap_scale(run, target_particles);
+    const double miss_l2 =
+        CostModel::miss_fraction(base.cache_bytes, run, gap_scale);
+    const double l1_bytes =
+        base.cache_l1_bytes > 0.0 ? base.cache_l1_bytes : base.cache_bytes;
+    const double miss_l1 = CostModel::miss_fraction(l1_bytes, run, gap_scale);
+    x[r * kCols + 0] = links;
+    x[r * kCols + 1] = run.D == 3 ? links : 0.0;
+    x[r * kCols + 2] = updates;
+    // Parametrised as t_mem = t_mem_l1 + extra (both non-negative) so a
+    // beyond-L2 access can never be fitted cheaper than an L1 miss:
+    //   t_mem_l1 (f1 - f2) + t_mem f2  ==  t_mem_l1 f1 + extra f2.
+    x[r * kCols + 3] = contacts * miss_l1;
+    x[r * kCols + 4] = links * miss_l1;
+    x[r * kCols + 5] = links * miss_l2;
+    y[r] = obs[r].paper_seconds;
+  }
+
+  const std::vector<double> beta = nonneg_least_squares(x, rows, kCols, y);
+
+  CalibrationResult result;
+  result.spec = base;
+  result.spec.t_pair = beta[0];
+  result.spec.t_pair3 = beta[1];
+  result.spec.t_update = beta[2];
+  result.spec.t_contact = beta[3];
+  result.spec.t_mem_l1 = beta[4];
+  result.spec.t_mem = beta[4] + beta[5];
+  result.predicted.resize(rows);
+  result.target = y;
+  double sum_rel = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    result.predicted[r] = 0.0;
+    for (std::size_t c = 0; c < kCols; ++c) {
+      result.predicted[r] += x[r * kCols + c] * beta[c];
+    }
+    const double rel = std::abs(result.predicted[r] - y[r]) / y[r];
+    sum_rel += rel;
+    if (rel > result.max_rel_error) result.max_rel_error = rel;
+  }
+  result.mean_rel_error = sum_rel / static_cast<double>(rows);
+  return result;
+}
+
+}  // namespace hdem::perf

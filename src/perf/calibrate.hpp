@@ -1,0 +1,45 @@
+// Calibration of the per-platform serial kernel costs.
+//
+// The model's three serial constants (t_pair, t_update, t_mem) are fitted
+// per platform against the paper's own Tables 1 and 2: eight observations
+// (D in {2,3} x rc in {1.5, 2.0} rmax x {random, reordered}) against three
+// parameters, solved by non-negative least squares.  The regressors are
+// *measured* per-iteration link/update counts and the measured link-gap
+// locality of this library's serial runs, extrapolated to the paper's one
+// million particles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+namespace hdem::perf {
+
+struct CalibrationObservation {
+  RunMeasurement run;          // serial measurement (nprocs = nthreads = 1)
+  double paper_seconds = 0.0;  // the Tables 1/2 target for this configuration
+};
+
+struct CalibrationResult {
+  MachineSpec spec;               // base spec with fitted serial constants
+  std::vector<double> predicted;  // model seconds per observation
+  std::vector<double> target;     // paper seconds per observation
+  double max_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+};
+
+// Gap-scale when extrapolating a measured run of n particles to a target
+// size: random-order gaps grow linearly with the particle count; after
+// cell-order reordering the dominant gaps are cross-sections of the cell
+// grid, which grow as n^((D-1)/D).
+double calibration_gap_scale(const RunMeasurement& run, double target_particles);
+
+// Fit t_pair / t_update / t_mem of `base` to the observations, which must
+// all be serial runs of the benchmark system.
+CalibrationResult calibrate(const MachineSpec& base,
+                            std::span<const CalibrationObservation> obs,
+                            double target_particles);
+
+}  // namespace hdem::perf

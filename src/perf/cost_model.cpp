@@ -1,0 +1,179 @@
+#include "perf/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdem::perf {
+
+ModelLayout paper_scale_layout(const RunMeasurement& run, int ranks_per_node,
+                               double target_particles) {
+  ModelLayout l;
+  l.ranks_per_node = ranks_per_node;
+  const double ratio =
+      target_particles / static_cast<double>(run.n_global ? run.n_global : 1);
+  if (ratio <= 1.0) return l;
+  const double surface = std::pow(ratio, (run.D - 1.0) / run.D);
+  l.count_scale = ratio;
+  l.cache_gap_scale = run.reordered ? surface : ratio;
+  l.comm_scale = surface;
+  l.sync_scale = 1.0;
+  return l;
+}
+
+double CostModel::bytes_per_particle(int D) {
+  // Positions and forces of the partner particle plus the link record:
+  // 2 vectors of D doubles + two 4-byte indices.
+  return 2.0 * 8.0 * D + 8.0;
+}
+
+double CostModel::miss_fraction(double capacity_bytes,
+                                const RunMeasurement& run, double gap_scale) {
+  // A link access to particle j has reuse span ~ |i - j| particles.
+  // Scaling every gap by gap_scale is equivalent to shrinking the capacity.
+  const double capacity = capacity_bytes / bytes_per_particle(run.D) /
+                          std::max(gap_scale, 1e-12);
+  return run.agg.gap_fraction_above(capacity);
+}
+
+double CostModel::miss_probability(const MachineSpec& machine,
+                                   const RunMeasurement& run,
+                                   double gap_scale) {
+  return miss_fraction(machine.cache_bytes, run, gap_scale);
+}
+
+CostModel::TrafficSplit CostModel::split_traffic(const RunMeasurement& run,
+                                                 int ranks_per_node) {
+  TrafficSplit s;
+  const int p = run.nprocs;
+  if (run.bytes_matrix.size() != static_cast<std::size_t>(p) * p ||
+      run.msgs_matrix.size() != static_cast<std::size_t>(p) * p) {
+    return s;  // no traffic recorded (serial / threaded runs)
+  }
+  const int rpn = std::max(1, ranks_per_node);
+  for (int src = 0; src < p; ++src) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (src == dst) continue;  // self-messages are local copies
+      const auto idx = static_cast<std::size_t>(src) * p + dst;
+      const bool same_node = (src / rpn) == (dst / rpn);
+      if (same_node) {
+        s.msgs_intra += static_cast<double>(run.msgs_matrix[idx]);
+        s.bytes_intra += static_cast<double>(run.bytes_matrix[idx]);
+      } else {
+        s.msgs_inter += static_cast<double>(run.msgs_matrix[idx]);
+        s.bytes_inter += static_cast<double>(run.bytes_matrix[idx]);
+      }
+    }
+  }
+  return s;
+}
+
+CostBreakdown CostModel::predict(const MachineSpec& machine,
+                                 const RunMeasurement& run,
+                                 const Layout& layout) {
+  if (run.iterations == 0 || run.nprocs < 1) {
+    throw std::invalid_argument("CostModel::predict: empty measurement");
+  }
+  const double per_rank_iter =
+      layout.count_scale /
+      (static_cast<double>(run.nprocs) * static_cast<double>(run.iterations));
+
+  const double links = static_cast<double>(run.agg.force_evals) * per_rank_iter;
+  const double contacts =
+      static_cast<double>(run.agg.contacts) * per_rank_iter;
+  const double updates =
+      static_cast<double>(run.agg.position_updates) * per_rank_iter;
+  const double atomics =
+      static_cast<double>(run.agg.atomic_updates) * per_rank_iter;
+  const double force_updates =
+      static_cast<double>(run.agg.atomic_updates + run.agg.plain_updates) *
+      per_rank_iter;
+  const double per_rank_iter_sync =
+      layout.sync_scale /
+      (static_cast<double>(run.nprocs) * static_cast<double>(run.iterations));
+  const double regions =
+      static_cast<double>(run.agg.parallel_regions) * per_rank_iter_sync;
+  const double barriers =
+      static_cast<double>(run.agg.barriers) * per_rank_iter_sync;
+  const double criticals =
+      static_cast<double>(run.agg.critical_sections) * per_rank_iter_sync;
+  const double red_bytes =
+      static_cast<double>(run.agg.reduction_bytes) * per_rank_iter;
+
+  const int t_count = std::max(1, run.nthreads);
+  const int busy_cpus = std::min(machine.cpus_per_node,
+                                 std::max(1, layout.ranks_per_node) * t_count);
+  const double saturation = 1.0 + machine.mem_saturation * (busy_cpus - 1);
+  // Two-level cache: reuse spans past L1 (but within L2) cost t_mem_l1;
+  // spans past L2 cost t_mem.  An unset L1 (0 bytes) collapses to the
+  // single-level model.
+  const double miss_l2 =
+      miss_fraction(machine.cache_bytes, run, layout.cache_gap_scale);
+  const double l1_bytes = machine.cache_l1_bytes > 0.0
+                              ? machine.cache_l1_bytes
+                              : machine.cache_bytes;
+  const double miss_l1 = miss_fraction(l1_bytes, run, layout.cache_gap_scale);
+  // Only beyond-L2 traffic rides the node's shared memory system, so only
+  // that share is subject to the multi-CPU saturation penalty; L1-miss /
+  // L2-hit traffic stays within the CPU's own cache hierarchy.
+  const double mem_per_link =
+      machine.t_mem_l1 * (miss_l1 - miss_l2) +
+      machine.t_mem * miss_l2 * saturation;
+
+  CostBreakdown out;
+  // Work terms execute concurrently on the rank's threads.
+  const double t_link =
+      machine.t_pair + (run.D == 3 ? machine.t_pair3 : 0.0);
+  out.compute = (links * t_link + updates * machine.t_update) / t_count;
+  out.memory =
+      (links * mem_per_link + contacts * machine.t_contact * miss_l1) /
+      t_count;
+  // Threads sharing one force array pay coherence traffic on its cache
+  // lines; like fork/barrier costs, normalised to a 4-thread team.
+  const double contend_scale =
+      t_count > 1 ? static_cast<double>(t_count - 1) / 3.0 : 0.0;
+  out.memory += force_updates * machine.t_contend * contend_scale / t_count;
+  out.atomic = atomics * machine.t_atomic / t_count;
+  // Private-array traffic is bandwidth-bound: all threads share the node's
+  // memory system, so dividing by T would be double counting.
+  out.reduction =
+      red_bytes / std::max(machine.reduction_bw, 1.0) * saturation;
+  // Synchronisation episodes: cost grows with team size (normalise the
+  // spec's constants to a 4-thread team, zero for a single thread).
+  const double sync_scale = t_count > 1 ? static_cast<double>(t_count - 1) / 3.0
+                                        : 0.0;
+  out.sync = (regions * machine.t_fork + barriers * machine.t_barrier) *
+                 sync_scale +
+             criticals * machine.t_critical;
+
+  // Traffic matrices hold totals over all ranks and iterations; reduce to
+  // a per-rank per-iteration cost (bulk-synchronous, balanced workload).
+  const TrafficSplit ts = split_traffic(run, layout.ranks_per_node);
+  // Bandwidths are node resources: the interconnect adapter is shared by
+  // every rank on the node (multiply the per-rank byte cost back up by
+  // ranks_per_node), and intra-node transfers ride the saturating memory
+  // system.  Message latencies are CPU overhead, paid per rank.
+  const double rpn = std::max(1, layout.ranks_per_node);
+  out.comm = (ts.msgs_intra * machine.lat_intra +
+              ts.bytes_intra * saturation / std::max(machine.bw_intra, 1.0) +
+              ts.msgs_inter * machine.lat_inter +
+              ts.bytes_inter * rpn / std::max(machine.bw_inter, 1.0)) *
+             layout.comm_scale /
+             (static_cast<double>(run.nprocs) *
+              static_cast<double>(run.iterations));
+  // Same-rank block-to-block halo copies: the transfer count is a
+  // per-block quantity (sync_scale); the byte volume scales with block
+  // surface (comm_scale).  Bytes move at node-memory speed, shared by the
+  // node's busy CPUs.
+  const double lmsgs =
+      static_cast<double>(run.agg.msgs_local) * per_rank_iter_sync;
+  const double lbytes = static_cast<double>(run.agg.bytes_local) *
+                        layout.comm_scale /
+                        (static_cast<double>(run.nprocs) *
+                         static_cast<double>(run.iterations));
+  out.comm += lmsgs * machine.lat_local +
+              lbytes * saturation / std::max(machine.reduction_bw, 1.0);
+  return out;
+}
+
+}  // namespace hdem::perf

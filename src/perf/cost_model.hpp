@@ -1,0 +1,119 @@
+// Analytic cost model: measured operation counts x machine constants.
+//
+// Every figure-reproduction bench follows the same recipe: run the real
+// (instrumented) simulation at the figure's configuration, aggregate the
+// counters into a RunMeasurement, then ask the model for the predicted
+// per-iteration time on the paper's platform.  Shapes (speedups,
+// crossovers, efficiency decay) emerge from how the measured counts vary
+// with P, T and B — never from per-figure special cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "perf/machine.hpp"
+
+namespace hdem::perf {
+
+// Aggregated observation of one steady-state run (counters are summed over
+// ranks; cumulative fields cover `iterations` iterations).
+struct RunMeasurement {
+  int D = 3;
+  std::uint64_t n_global = 0;   // total particles
+  double rc_factor = 1.5;
+  bool reordered = true;
+  int nprocs = 1;
+  int nthreads = 1;
+  int nblocks = 1;
+  std::uint64_t iterations = 0;
+  Counters agg;
+  // Per-rank counters (message-passing runs only) — the raw material for
+  // load-imbalance analysis; agg is their merge.
+  std::vector<Counters> per_rank;
+  // Point-to-point traffic matrices, src-major: entry [src * P + dst].
+  std::vector<std::uint64_t> bytes_matrix;
+  std::vector<std::uint64_t> msgs_matrix;
+
+  int blocks_per_proc() const { return nblocks / (nprocs > 0 ? nprocs : 1); }
+};
+
+struct CostBreakdown {
+  double compute = 0.0;    // link arithmetic + position updates
+  double memory = 0.0;     // cache-miss penalty (with node saturation)
+  double atomic = 0.0;     // protected force updates
+  double reduction = 0.0;  // private-array zero+merge traffic
+  double sync = 0.0;       // fork/join + barriers + criticals
+  double comm = 0.0;       // halo swaps, migration, collectives
+  double total() const {
+    return compute + memory + atomic + reduction + sync + comm;
+  }
+};
+
+// ranks_per_node: how MPI ranks pack onto SMP nodes (e.g. 4 for pure MPI
+// on the ES40 cluster, 1 for the hybrid scheme).  count_scale multiplies
+// all per-rank operation counts — used to extrapolate a reduced-size
+// measurement to the paper's one-million-particle system.
+// cache_gap_scale rescales the link-gap locality estimate by the same
+// system-size ratio (gaps grow with the particle count).
+struct ModelLayout {
+  int ranks_per_node = 1;
+  double count_scale = 1.0;
+  double cache_gap_scale = 1.0;
+  double comm_scale = 1.0;  // halo traffic scales with surface, not volume
+  // Parallel regions / barriers / criticals are per block per iteration —
+  // independent of the particle count — so extrapolating a reduced-size
+  // measurement to the paper's system leaves them unscaled.
+  double sync_scale = 1.0;
+};
+
+// Extrapolation of a reduced-size measurement to `target_particles` (the
+// paper's one-million-particle system): operation counts scale linearly,
+// link-gap locality scales with the system (sub-linearly once reordered),
+// halo traffic scales with block surface area.
+ModelLayout paper_scale_layout(const RunMeasurement& run, int ranks_per_node,
+                               double target_particles);
+
+class CostModel {
+ public:
+  using Layout = ModelLayout;
+
+  // Predicted per-iteration wall-clock on `machine` for the measured run.
+  static CostBreakdown predict(const MachineSpec& machine,
+                               const RunMeasurement& run,
+                               const Layout& layout = Layout{});
+
+  // Estimated probability that a link's second-particle access has a
+  // reuse span exceeding `capacity_bytes`, from the measured link-gap
+  // histogram.
+  static double miss_fraction(double capacity_bytes,
+                              const RunMeasurement& run,
+                              double gap_scale = 1.0);
+
+  // Outer-cache (L2) miss probability for `machine`.
+  static double miss_probability(const MachineSpec& machine,
+                                 const RunMeasurement& run,
+                                 double gap_scale = 1.0);
+
+  // Bytes of particle state touched per link access in dimension D
+  // (positions + forces of both ends plus the link record itself).
+  static double bytes_per_particle(int D);
+
+  // Split the traffic matrices into (intra-node, inter-node) totals given
+  // the rank->node packing.  Returns {msgs_intra, bytes_intra, msgs_inter,
+  // bytes_inter}.
+  struct TrafficSplit {
+    double msgs_intra = 0.0, bytes_intra = 0.0;
+    double msgs_inter = 0.0, bytes_inter = 0.0;
+  };
+  static TrafficSplit split_traffic(const RunMeasurement& run,
+                                    int ranks_per_node);
+};
+
+// Convenience: speedup/efficiency bookkeeping used by the figure benches.
+inline double efficiency(double t_ref, double p_ref, double t, double p) {
+  return (t_ref * p_ref) / (t * p);
+}
+
+}  // namespace hdem::perf

@@ -1,0 +1,175 @@
+// Measurement harness: run one configuration of the paper's benchmark
+// system under any driver and return the aggregated steady-state counters
+// as a RunMeasurement for the cost model.
+//
+// Following the paper's procedure, the measured window covers force
+// computation, position updates and halo swaps only — "we exclude the link
+// generation as this represents a small overhead in a real simulation".
+// (The default velocity scale keeps the link list valid across the short
+// measured window, so no rebuild lands inside it.)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/init.hpp"
+#include "core/serial_sim.hpp"
+#include "decomp/layout.hpp"
+#include "driver/mp_sim.hpp"
+#include "driver/smp_sim.hpp"
+#include "mp/comm.hpp"
+#include "perf/cost_model.hpp"
+#include "util/timer.hpp"
+
+namespace hdem::perf {
+
+struct MeasureSpec {
+  enum class Mode { kSerial, kSmp, kMp, kHybrid };
+
+  int D = 3;  // 2 or 3
+  std::uint64_t n = 100'000;
+  double rc_factor = 1.5;
+  bool reorder = true;
+  Mode mode = Mode::kSerial;
+  int nprocs = 1;
+  int nthreads = 1;
+  int blocks_per_proc = 1;
+  ReductionKind reduction = ReductionKind::kSelectedAtomic;
+  bool fused = false;  // hybrid only: Section 11 fused link loop
+  // < 1 confines all particles to the bottom fraction of the box (the
+  // clustered, load-imbalanced workload class the paper targets).
+  double cluster_fraction = 1.0;
+  std::uint64_t iterations = 4;
+  std::uint64_t seed = 12345;
+};
+
+// RunMeasurement plus the host wall-clock for the measured window.
+struct MeasuredRun {
+  RunMeasurement run;
+  double host_seconds = 0.0;  // whole window, slowest rank
+  double host_seconds_per_iter() const {
+    return run.iterations ? host_seconds / static_cast<double>(run.iterations)
+                          : 0.0;
+  }
+};
+
+namespace detail {
+
+template <int D>
+SimConfig<D> benchmark_config(const MeasureSpec& spec) {
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(SimConfig<D>::paper_box_edge(spec.n));
+  cfg.diameter = 0.05;
+  cfg.cutoff_factor = spec.rc_factor;
+  cfg.reorder = spec.reorder;
+  cfg.seed = spec.seed;
+  return cfg;
+}
+
+template <int D>
+MeasuredRun measure_impl(const MeasureSpec& spec) {
+  const SimConfig<D> cfg = benchmark_config<D>(spec);
+  const ElasticSphere model{cfg.stiffness, cfg.diameter};
+  const auto init = spec.cluster_fraction < 1.0
+                        ? clustered_particles(cfg, spec.n,
+                                              spec.cluster_fraction)
+                        : uniform_random_particles(cfg, spec.n);
+
+  MeasuredRun out;
+  out.run.D = D;
+  out.run.n_global = spec.n;
+  out.run.rc_factor = spec.rc_factor;
+  out.run.reordered = spec.reorder;
+  out.run.nprocs = spec.nprocs;
+  out.run.nthreads = spec.nthreads;
+  out.run.iterations = spec.iterations;
+
+  switch (spec.mode) {
+    case MeasureSpec::Mode::kSerial: {
+      out.run.nprocs = 1;
+      out.run.nthreads = 1;
+      out.run.nblocks = 1;
+      SerialSim<D> sim(cfg, model, init);
+      sim.step();  // settle into the steady state
+      const Counters before = sim.counters();
+      Timer timer;
+      sim.run(spec.iterations);
+      out.host_seconds = timer.seconds();
+      out.run.agg = counters_delta(sim.counters(), before);
+      break;
+    }
+    case MeasureSpec::Mode::kSmp: {
+      out.run.nprocs = 1;
+      out.run.nblocks = 1;
+      SmpSim<D> sim(cfg, model, init, spec.nthreads, spec.reduction);
+      sim.step();
+      const Counters before = sim.counters();
+      Timer timer;
+      sim.run(spec.iterations);
+      out.host_seconds = timer.seconds();
+      out.run.agg = counters_delta(sim.counters(), before);
+      break;
+    }
+    case MeasureSpec::Mode::kMp:
+    case MeasureSpec::Mode::kHybrid: {
+      const int p = spec.nprocs;
+      const auto layout = DecompLayout<D>::make(p, spec.blocks_per_proc);
+      out.run.nblocks = layout.nblocks();
+      std::vector<Counters> rank_counters(static_cast<std::size_t>(p));
+      std::vector<double> rank_seconds(static_cast<std::size_t>(p), 0.0);
+      std::vector<std::uint64_t> bytes_matrix(
+          static_cast<std::size_t>(p) * p, 0);
+      std::vector<std::uint64_t> msgs_matrix(static_cast<std::size_t>(p) * p,
+                                             0);
+      typename MpSim<D>::Options opts;
+      opts.nthreads =
+          spec.mode == MeasureSpec::Mode::kHybrid ? spec.nthreads : 1;
+      opts.reduction = spec.reduction;
+      opts.fused = spec.fused;
+      mp::run(p, [&](mp::Comm& comm) {
+        MpSim<D> sim(cfg, layout, comm, model, init, opts);
+        sim.step();
+        const Counters before = sim.counters();
+        const auto bytes_before = comm.bytes_to();
+        const auto msgs_before = comm.msgs_to();
+        Timer timer;
+        sim.run(spec.iterations);
+        const double secs = timer.seconds();
+        const int r = comm.rank();
+        rank_counters[static_cast<std::size_t>(r)] =
+            counters_delta(sim.counters(), before);
+        rank_seconds[static_cast<std::size_t>(r)] = secs;
+        for (int dst = 0; dst < p; ++dst) {
+          const auto idx = static_cast<std::size_t>(r) * p + dst;
+          bytes_matrix[idx] = comm.bytes_to()[static_cast<std::size_t>(dst)] -
+                              bytes_before[static_cast<std::size_t>(dst)];
+          msgs_matrix[idx] = comm.msgs_to()[static_cast<std::size_t>(dst)] -
+                             msgs_before[static_cast<std::size_t>(dst)];
+        }
+      });
+      for (const auto& c : rank_counters) out.run.agg.merge(c);
+      out.run.per_rank = std::move(rank_counters);
+      out.run.bytes_matrix = std::move(bytes_matrix);
+      out.run.msgs_matrix = std::move(msgs_matrix);
+      for (const double s : rank_seconds) {
+        if (s > out.host_seconds) out.host_seconds = s;
+      }
+      out.run.nthreads = opts.nthreads;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+inline MeasuredRun measure_run(const MeasureSpec& spec) {
+  if (spec.D == 2) return detail::measure_impl<2>(spec);
+  if (spec.D == 3) return detail::measure_impl<3>(spec);
+  throw std::invalid_argument("measure_run: D must be 2 or 3");
+}
+
+}  // namespace hdem::perf

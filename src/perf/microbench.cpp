@@ -1,0 +1,75 @@
+#include "perf/microbench.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "smp/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace hdem::perf {
+
+SyncOverheads measure_sync_overheads(int threads, int repetitions) {
+  smp::ThreadTeam team(threads);
+  SyncOverheads o;
+  o.threads = threads;
+  const double reps = static_cast<double>(repetitions);
+
+  {  // empty parallel region (fork + join)
+    Timer t;
+    for (int r = 0; r < repetitions; ++r) {
+      team.parallel([](int) {});
+    }
+    o.fork_join = t.seconds() / reps;
+  }
+  {  // empty static-schedule parallel_for
+    Timer t;
+    for (int r = 0; r < repetitions; ++r) {
+      team.parallel_for(0, threads, [](int, std::int64_t, std::int64_t) {});
+    }
+    o.parallel_for = t.seconds() / reps;
+  }
+  {  // barrier episodes inside one region
+    Timer t;
+    team.parallel([&](int) {
+      for (int r = 0; r < repetitions; ++r) team.barrier();
+    });
+    o.barrier = t.seconds() / reps;
+  }
+  {  // critical-section entries (every thread competes)
+    volatile double sink = 0.0;
+    Timer t;
+    team.parallel([&](int) {
+      for (int r = 0; r < repetitions; ++r) {
+        team.critical([&] { sink = sink + 1.0; });
+      }
+    });
+    o.critical = t.seconds() / (reps * threads);
+  }
+  {  // contended atomic accumulation
+    alignas(64) double target = 0.0;
+    Timer t;
+    team.parallel([&](int) {
+      for (int r = 0; r < repetitions; ++r) smp::atomic_add(target, 1.0);
+    });
+    o.atomic_add = t.seconds() / (reps * threads);
+  }
+  return o;
+}
+
+double per_block_sync_cost(const SyncOverheads& o, double regions_per_block,
+                           double barriers_per_block) {
+  return regions_per_block * o.fork_join + barriers_per_block * o.barrier;
+}
+
+std::string format(const SyncOverheads& o) {
+  std::ostringstream os;
+  os << "threads=" << o.threads
+     << "  fork_join=" << o.fork_join * 1e6 << "us"
+     << "  parallel_for=" << o.parallel_for * 1e6 << "us"
+     << "  barrier=" << o.barrier * 1e6 << "us"
+     << "  critical=" << o.critical * 1e6 << "us"
+     << "  atomic_add=" << o.atomic_add * 1e9 << "ns";
+  return os.str();
+}
+
+}  // namespace hdem::perf

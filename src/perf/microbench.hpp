@@ -1,0 +1,34 @@
+// EPCC-style synchronisation microbenchmarks (the paper's reference [10],
+// Bull's "Measuring Synchronisation and Scheduling Overheads in OpenMP"),
+// applied to this library's own thread-team runtime.
+//
+// The paper uses exactly this technique to estimate the hybrid code's
+// thread overheads ("around 50 microseconds per block per processor").
+// measure_sync_overheads() reports the host's real costs; the same numbers
+// parameterise the generic_host machine spec.
+#pragma once
+
+#include <string>
+
+namespace hdem::perf {
+
+struct SyncOverheads {
+  int threads = 1;
+  double fork_join = 0.0;      // seconds per empty parallel region
+  double parallel_for = 0.0;   // seconds per empty static-schedule loop
+  double barrier = 0.0;        // seconds per in-region barrier episode
+  double critical = 0.0;       // seconds per critical-section entry
+  double atomic_add = 0.0;     // seconds per contended atomic accumulation
+};
+
+SyncOverheads measure_sync_overheads(int threads, int repetitions = 1000);
+
+// Overhead per block per iteration of a hybrid run that executes
+// `regions_per_block` parallel regions and `barriers_per_block` barrier
+// episodes per block — the quantity the paper pegs at ~50 us.
+double per_block_sync_cost(const SyncOverheads& o, double regions_per_block,
+                           double barriers_per_block);
+
+std::string format(const SyncOverheads& o);
+
+}  // namespace hdem::perf

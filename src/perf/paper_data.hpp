@@ -1,0 +1,79 @@
+// The paper's published numbers, used as calibration targets and as the
+// "paper" column in EXPERIMENTS.md comparisons.
+//
+// Tables 1 and 2 report P0 * t(P0): the effective single-processor time
+// per iteration in seconds for one million particles.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace hdem::perf {
+
+struct SerialTiming {
+  int D;
+  double rc_factor;        // rc / rmax
+  double seconds_random;   // Table 1: no particle reordering
+  double seconds_ordered;  // Table 2: with particle reordering
+};
+
+struct PaperSerialTable {
+  std::string platform;
+  std::array<SerialTiming, 4> rows;
+};
+
+inline const std::array<PaperSerialTable, 3>& paper_serial_tables() {
+  static const std::array<PaperSerialTable, 3> tables = {{
+      {"Sun",
+       {{{2, 1.5, 3.28, 2.45},
+         {2, 2.0, 4.13, 3.31},
+         {3, 1.5, 5.68, 4.58},
+         {3, 2.0, 9.05, 7.56}}}},
+      {"T3E",
+       {{{2, 1.5, 3.84, 2.93},
+         {2, 2.0, 4.97, 3.90},
+         {3, 1.5, 7.60, 6.02},
+         {3, 2.0, 12.73, 10.60}}}},
+      {"CPQ",
+       {{{2, 1.5, 1.80, 1.19},
+         {2, 2.0, 2.23, 1.57},
+         {3, 1.5, 3.20, 2.19},
+         {3, 2.0, 4.91, 3.74}}}},
+  }};
+  return tables;
+}
+
+inline const PaperSerialTable& paper_serial_table(const std::string& name) {
+  for (const auto& t : paper_serial_tables()) {
+    if (t.platform == name) return t;
+  }
+  throw std::invalid_argument("paper_serial_table: unknown platform " + name);
+}
+
+inline double paper_serial_seconds(const std::string& platform, int D,
+                                   double rc_factor, bool reordered) {
+  for (const auto& r : paper_serial_table(platform).rows) {
+    if (r.D == D && r.rc_factor == rc_factor) {
+      return reordered ? r.seconds_ordered : r.seconds_random;
+    }
+  }
+  throw std::invalid_argument("paper_serial_seconds: unknown row");
+}
+
+// Qualitative facts from the evaluation that EXPERIMENTS.md checks:
+//  - Fig 6 (Compaq, D = 3, T = P = 4): OpenMP beats MPI beyond ~8 blocks
+//    per processor at rc = 2.0 rmax and ~30 at rc = 1.5 rmax.
+inline constexpr double kPaperCrossoverBppRc20 = 8.0;
+inline constexpr double kPaperCrossoverBppRc15 = 30.0;
+//  - Section 9.3: thread synchronisation costs ~50 us per block per
+//    processor; at B/P = 32 a couple of milliseconds per iteration.
+inline constexpr double kPaperSyncPerBlockSeconds = 50.0e-6;
+//  - Section 9.3: the fraction of force updates requiring a lock rises to
+//    ~50 % at the finest granularity for D = 3 and ~25 % for D = 2.
+inline constexpr double kPaperLockFractionD3 = 0.50;
+inline constexpr double kPaperLockFractionD2 = 0.25;
+// The benchmark scale: one million particles.
+inline constexpr double kPaperParticles = 1.0e6;
+
+}  // namespace hdem::perf

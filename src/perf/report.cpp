@@ -1,0 +1,25 @@
+#include "perf/report.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace hdem::perf {
+
+std::string results_dir() {
+  const char* env = std::getenv("HDEM_RESULTS_DIR");
+  const std::string dir = env != nullptr ? env : "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void save_artifact(const std::string& name, const std::string& content) {
+  const std::filesystem::path path =
+      std::filesystem::path(results_dir()) / name;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_artifact: cannot open " + path.string());
+  out << content;
+}
+
+}  // namespace hdem::perf

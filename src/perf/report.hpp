@@ -1,0 +1,19 @@
+// Artifact output helpers for the benchmark harness.
+//
+// Every bench prints its tables/plots to stdout (captured into
+// bench_output.txt) and also saves them under results/ so individual
+// experiments can be inspected without re-running the whole suite.
+#pragma once
+
+#include <string>
+
+namespace hdem::perf {
+
+// Directory where bench artifacts are written ("results", overridable via
+// the HDEM_RESULTS_DIR environment variable).  Created on first use.
+std::string results_dir();
+
+// Write `content` to results_dir()/name (overwriting).
+void save_artifact(const std::string& name, const std::string& content);
+
+}  // namespace hdem::perf

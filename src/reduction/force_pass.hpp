@@ -1,0 +1,212 @@
+// Threaded force loop over the link list.
+//
+// "The force loop is parallelised over links, the update of positions is
+// parallelised over particles ... Load balance can be achieved in all
+// cases using a static schedule."  One parallel region per pass: the team
+// zeroes the global force array, runs the static-block link loop feeding a
+// force-accumulation strategy, and the strategy performs whatever merge
+// phase it needs (barriers, critical sections, striped reductions) before
+// the implicit join.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/counters.hpp"
+#include "core/dynamics.hpp"
+#include "core/link_list.hpp"
+#include "core/particle_store.hpp"
+#include "reduction/strategies.hpp"
+#include "smp/thread_team.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+namespace detail {
+struct alignas(64) PadSlot {
+  double pe = 0.0;
+  double max_v = 0.0;
+  std::uint64_t contacts = 0;
+};
+}  // namespace detail
+
+// Returns the potential energy of the traversed links (core links at full
+// weight, replicated core-halo links at half weight).
+template <int D, class Model, class Disp, class Accum>
+double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
+                      ParticleStore<D>& store, const Model& model,
+                      Disp&& disp, Accum& acc, Counters* counters = nullptr) {
+  const int t_count = team.size();
+  std::vector<detail::PadSlot> slots(static_cast<std::size_t>(t_count));
+  const auto n = static_cast<std::int64_t>(store.size());
+  const auto n_core_links = static_cast<std::int64_t>(list.n_core);
+  const auto n_links = static_cast<std::int64_t>(list.size());
+
+  team.parallel([&](int tid) {
+    // Zero the global force array (parallel over particles, halos too).
+    {
+      const auto r = smp::static_block(0, n, tid, t_count);
+      auto frc = store.forces();
+      for (std::int64_t i = r.lo; i < r.hi; ++i) {
+        frc[static_cast<std::size_t>(i)] = Vec<D>{};
+      }
+    }
+    acc.thread_begin(tid, store);
+    team.barrier();  // zeroing complete before any accumulation
+
+    auto pos = store.positions();
+    auto vel = store.velocities();
+    double my_pe = 0.0;
+    std::uint64_t my_contacts = 0;
+
+    auto process = [&](const Link& l, bool update_both, double pe_weight) {
+      const auto i = static_cast<std::size_t>(l.i);
+      const auto j = static_cast<std::size_t>(l.j);
+      const Vec<D> d = disp(pos[i], pos[j]);
+      double rv = 0.0;
+      if constexpr (Model::needs_velocity) {
+        rv = dot(vel[i] - vel[j], d);
+      }
+      double s, e;
+      if (!model.pair(norm2(d), rv, s, e)) return;
+      ++my_contacts;
+      my_pe += pe_weight * e;
+      const Vec<D> f = s * d;
+      acc.add(tid, l.i, f, store);
+      if (update_both) acc.add(tid, l.j, -f, store);
+    };
+
+    const auto rc = smp::static_block(0, n_core_links, tid, t_count);
+    for (std::int64_t l = rc.lo; l < rc.hi; ++l) {
+      process(list.links[static_cast<std::size_t>(l)], true, 1.0);
+    }
+    const auto rh = smp::static_block(n_core_links, n_links, tid, t_count);
+    for (std::int64_t l = rh.lo; l < rh.hi; ++l) {
+      process(list.links[static_cast<std::size_t>(l)], false, 0.5);
+    }
+
+    acc.thread_finish(team, tid, store);
+    slots[static_cast<std::size_t>(tid)].pe = my_pe;
+    slots[static_cast<std::size_t>(tid)].contacts = my_contacts;
+  });
+
+  double pe = 0.0;
+  std::uint64_t contacts = 0;
+  for (const auto& s : slots) {
+    pe += s.pe;
+    contacts += s.contacts;
+  }
+  if (counters != nullptr) {
+    acc.collect(*counters);
+    counters->force_evals += list.size();
+    counters->contacts += contacts;
+  }
+  return pe;
+}
+
+// Threaded position update ("the update of positions is parallelised over
+// particles"); returns the maximum particle speed across the team.
+template <int D>
+double smp_update_positions(smp::ThreadTeam& team, ParticleStore<D>& store,
+                            std::size_t ncore, double dt,
+                            const Vec<D>& gravity, const Boundary<D>& bc,
+                            Counters* counters = nullptr) {
+  const int t_count = team.size();
+  std::vector<detail::PadSlot> slots(static_cast<std::size_t>(t_count));
+  team.parallel_for(
+      0, static_cast<std::int64_t>(ncore),
+      [&](int tid, std::int64_t lo, std::int64_t hi) {
+        slots[static_cast<std::size_t>(tid)].max_v = kick_drift_range(
+            store, static_cast<std::size_t>(lo), static_cast<std::size_t>(hi),
+            dt, gravity, bc, nullptr);
+      });
+  double max_v = 0.0;
+  for (const auto& s : slots) {
+    if (s.max_v > max_v) max_v = s.max_v;
+  }
+  if (counters != nullptr) counters->position_updates += ncore;
+  return max_v;
+}
+
+// Fused-hybrid helper (the paper's Section 11 proposal): process one
+// block's links [lo, hi) — indices local to the block's list — inside an
+// already-open parallel region, feeding the block's accumulator.  Returns
+// the potential energy of the processed links (half weight for core-halo
+// links) and tallies contacts.
+template <int D, class Model, class Accum>
+double fused_force_range(const LinkList& list, std::int64_t lo,
+                         std::int64_t hi, ParticleStore<D>& store,
+                         const Model& model, Accum& acc, int tid,
+                         std::uint64_t& contacts) {
+  auto pos = store.positions();
+  auto vel = store.velocities();
+  double pe = 0.0;
+  const auto n_core = static_cast<std::int64_t>(list.n_core);
+  for (std::int64_t l = lo; l < hi; ++l) {
+    const Link& link = list.links[static_cast<std::size_t>(l)];
+    const auto i = static_cast<std::size_t>(link.i);
+    const auto j = static_cast<std::size_t>(link.j);
+    const Vec<D> d = pos[i] - pos[j];
+    double rv = 0.0;
+    if constexpr (Model::needs_velocity) {
+      rv = dot(vel[i] - vel[j], d);
+    }
+    double s, e;
+    if (!model.pair(norm2(d), rv, s, e)) continue;
+    ++contacts;
+    const bool core = l < n_core;
+    pe += core ? e : 0.5 * e;
+    const Vec<D> f = s * d;
+    acc.add(tid, link.i, f, store);
+    if (core) acc.add(tid, link.j, -f, store);
+  }
+  return pe;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime strategy selection.
+template <int D>
+using AnyAccumulator =
+    std::variant<AtomicAllAccumulator<D>, SelectedAtomicAccumulator<D>,
+                 CriticalAccumulator<D>, StripeAccumulator<D>,
+                 TransposeAccumulator<D>, NoLockAccumulator<D>>;
+
+template <int D>
+AnyAccumulator<D> make_accumulator(ReductionKind kind) {
+  switch (kind) {
+    case ReductionKind::kAtomicAll: return AtomicAllAccumulator<D>{};
+    case ReductionKind::kSelectedAtomic: return SelectedAtomicAccumulator<D>{};
+    case ReductionKind::kCritical: return CriticalAccumulator<D>{};
+    case ReductionKind::kStripe: return StripeAccumulator<D>{};
+    case ReductionKind::kTranspose: return TransposeAccumulator<D>{};
+    case ReductionKind::kNoLock: return NoLockAccumulator<D>{};
+  }
+  return AtomicAllAccumulator<D>{};
+}
+
+template <int D>
+void prepare_accumulator(AnyAccumulator<D>& acc, int team_size,
+                         const LinkList& list, std::size_t nparticles) {
+  std::visit(
+      [&](auto& a) {
+        a.prepare(team_size, std::span<const Link>(list.links), list.n_core,
+                  nparticles);
+      },
+      acc);
+}
+
+template <int D, class Model, class Disp>
+double dispatch_force_pass(AnyAccumulator<D>& acc, smp::ThreadTeam& team,
+                           const LinkList& list, ParticleStore<D>& store,
+                           const Model& model, Disp&& disp,
+                           Counters* counters = nullptr) {
+  return std::visit(
+      [&](auto& a) {
+        return smp_force_pass<D>(team, list, store, model, disp, a, counters);
+      },
+      acc);
+}
+
+}  // namespace hdem

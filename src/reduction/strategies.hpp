@@ -1,0 +1,347 @@
+// Force-accumulation strategies for the threaded force loop.
+//
+// Decomposing the force loop over *links* load-balances automatically, but
+// two threads may then update the force on the same particle.  The paper
+// (Section 7) evaluates these resolutions:
+//
+//   AtomicAll       every update atomic ("atomic" method)
+//   SelectedAtomic  conflict table built per link rebuild; only particles
+//                   touched by links of more than one thread are updated
+//                   atomically ("selected atomic" — the paper's winner)
+//   Critical        per-thread private arrays merged in a critical region
+//                   (extremely poor in the paper; kept as the baseline)
+//   Stripe          private arrays merged stripe-by-stripe, each thread
+//                   always updating a different portion of the global array
+//   Transpose       conceptually a global array with an extra thread
+//                   index; the merge is a parallel loop over particles
+//   NoLock          *incorrect* unprotected updates; models a machine with
+//                   a free atomic (the paper's Section 9.3 ablation)
+//
+// Each strategy implements:
+//   prepare(team_size, links, n_core_links, nparticles)  (per rebuild)
+//   thread_begin(tid, store)          (per iteration, inside the region)
+//   add(tid, i, f)                    (hot path)
+//   thread_finish(team, tid, store)   (merge phase, inside the region)
+//   collect(counters)                 (after the region)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "core/link_list.hpp"
+#include "core/particle_store.hpp"
+#include "smp/thread_team.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+enum class ReductionKind : std::uint8_t {
+  kAtomicAll,
+  kSelectedAtomic,
+  kCritical,
+  kStripe,
+  kTranspose,
+  kNoLock,
+};
+
+inline const char* to_string(ReductionKind k) {
+  switch (k) {
+    case ReductionKind::kAtomicAll: return "atomic";
+    case ReductionKind::kSelectedAtomic: return "selected-atomic";
+    case ReductionKind::kCritical: return "critical";
+    case ReductionKind::kStripe: return "stripe";
+    case ReductionKind::kTranspose: return "transpose";
+    case ReductionKind::kNoLock: return "nolock";
+  }
+  return "?";
+}
+
+namespace detail {
+// Per-thread tallies padded to a cache line to avoid false sharing.
+struct alignas(64) ThreadTally {
+  std::uint64_t atomic_updates = 0;
+  std::uint64_t plain_updates = 0;
+};
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+template <int D>
+class AtomicAllAccumulator {
+ public:
+  void prepare(int team_size, std::span<const Link>, std::size_t,
+               std::size_t) {
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+  }
+  void thread_begin(int, ParticleStore<D>&) {}
+  void add(int tid, std::int32_t i, const Vec<D>& f, ParticleStore<D>& store) {
+    Vec<D>& target = store.frc(static_cast<std::size_t>(i));
+    for (int d = 0; d < D; ++d) smp::atomic_add(target[d], f[d]);
+    ++tallies_[static_cast<std::size_t>(tid)].atomic_updates;
+  }
+  void thread_finish(smp::ThreadTeam&, int, ParticleStore<D>&) {}
+  // Adds this pass's tallies to the counters and resets them (collect is
+  // called once after every force pass).
+  void collect(Counters& c) {
+    for (auto& t : tallies_) {
+      c.atomic_updates += t.atomic_updates;
+      c.plain_updates += t.plain_updates;
+      t = {};
+    }
+  }
+
+ private:
+  std::vector<detail::ThreadTally> tallies_;
+};
+
+// ---------------------------------------------------------------------------
+// Incorrect unprotected updates — only used by the perf ablation that
+// bounds the benefit of a zero-cost atomic.
+template <int D>
+class NoLockAccumulator {
+ public:
+  void prepare(int team_size, std::span<const Link>, std::size_t,
+               std::size_t) {
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+  }
+  void thread_begin(int, ParticleStore<D>&) {}
+  void add(int tid, std::int32_t i, const Vec<D>& f, ParticleStore<D>& store) {
+    store.frc(static_cast<std::size_t>(i)) += f;
+    ++tallies_[static_cast<std::size_t>(tid)].plain_updates;
+  }
+  void thread_finish(smp::ThreadTeam&, int, ParticleStore<D>&) {}
+  void collect(Counters& c) {
+    for (auto& t : tallies_) {
+      c.plain_updates += t.plain_updates;
+      t = {};
+    }
+  }
+
+ private:
+  std::vector<detail::ThreadTally> tallies_;
+};
+
+// ---------------------------------------------------------------------------
+// "Identifying potential race conditions and dealing with them
+// appropriately": scan the link list once per rebuild against the static
+// link partition; particles whose links span threads get atomic updates,
+// all others are updated unprotected.  Valid for many force calculations,
+// exactly as in the paper.
+template <int D>
+class SelectedAtomicAccumulator {
+ public:
+  void prepare(int team_size, std::span<const Link> links,
+               std::size_t n_core_links, std::size_t nparticles) {
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+    owner_.assign(nparticles, -1);
+    shared_.assign(nparticles, 0);
+    auto mark = [&](std::int32_t p, int tid) {
+      auto& o = owner_[static_cast<std::size_t>(p)];
+      if (o < 0) {
+        o = static_cast<std::int16_t>(tid);
+      } else if (o != tid) {
+        shared_[static_cast<std::size_t>(p)] = 1;
+      }
+    };
+    // Core and halo links are partitioned independently by the force pass,
+    // so both partitions must feed the conflict table.
+    for (int tid = 0; tid < team_size; ++tid) {
+      const auto rc = smp::static_block(0, static_cast<std::int64_t>(n_core_links),
+                                        tid, team_size);
+      for (std::int64_t l = rc.lo; l < rc.hi; ++l) {
+        mark(links[static_cast<std::size_t>(l)].i, tid);
+        mark(links[static_cast<std::size_t>(l)].j, tid);
+      }
+      const auto rh = smp::static_block(static_cast<std::int64_t>(n_core_links),
+                                        static_cast<std::int64_t>(links.size()),
+                                        tid, team_size);
+      for (std::int64_t l = rh.lo; l < rh.hi; ++l) {
+        mark(links[static_cast<std::size_t>(l)].i, tid);
+        // halo ends (j) are never updated
+      }
+    }
+  }
+  // Conflict table for the fused hybrid scheme (the paper's Section 11
+  // proposal): this block's links occupy [offset, offset + nlinks) of one
+  // global link range that is statically partitioned over the team, so a
+  // thread's share of the block is the overlap of its global range with
+  // the block.  Most blocks are then touched by a single thread, which is
+  // precisely why fusing reduces inter-thread dependencies.
+  void prepare_global(int team_size, std::span<const Link> links,
+                      std::size_t n_core_links, std::size_t nparticles,
+                      std::int64_t offset, std::int64_t total_links) {
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+    owner_.assign(nparticles, -1);
+    shared_.assign(nparticles, 0);
+    auto mark = [&](std::int32_t p, int tid) {
+      auto& o = owner_[static_cast<std::size_t>(p)];
+      if (o < 0) {
+        o = static_cast<std::int16_t>(tid);
+      } else if (o != tid) {
+        shared_[static_cast<std::size_t>(p)] = 1;
+      }
+    };
+    const auto nlinks = static_cast<std::int64_t>(links.size());
+    for (int tid = 0; tid < team_size; ++tid) {
+      const auto g = smp::static_block(0, total_links, tid, team_size);
+      const std::int64_t lo = std::max<std::int64_t>(g.lo - offset, 0);
+      const std::int64_t hi = std::min<std::int64_t>(g.hi - offset, nlinks);
+      for (std::int64_t l = lo; l < hi; ++l) {
+        mark(links[static_cast<std::size_t>(l)].i, tid);
+        if (static_cast<std::size_t>(l) < n_core_links) {
+          mark(links[static_cast<std::size_t>(l)].j, tid);
+        }
+      }
+    }
+  }
+
+  void thread_begin(int, ParticleStore<D>&) {}
+  void add(int tid, std::int32_t i, const Vec<D>& f, ParticleStore<D>& store) {
+    Vec<D>& target = store.frc(static_cast<std::size_t>(i));
+    if (shared_[static_cast<std::size_t>(i)]) {
+      for (int d = 0; d < D; ++d) smp::atomic_add(target[d], f[d]);
+      ++tallies_[static_cast<std::size_t>(tid)].atomic_updates;
+    } else {
+      target += f;
+      ++tallies_[static_cast<std::size_t>(tid)].plain_updates;
+    }
+  }
+  void thread_finish(smp::ThreadTeam&, int, ParticleStore<D>&) {}
+  void collect(Counters& c) {
+    for (auto& t : tallies_) {
+      c.atomic_updates += t.atomic_updates;
+      c.plain_updates += t.plain_updates;
+      t = {};
+    }
+  }
+
+  // Exposed for tests: whether particle p required protection.
+  bool is_shared(std::int32_t p) const {
+    return shared_[static_cast<std::size_t>(p)] != 0;
+  }
+
+ private:
+  std::vector<detail::ThreadTally> tallies_;
+  std::vector<std::int16_t> owner_;
+  std::vector<std::uint8_t> shared_;
+};
+
+// ---------------------------------------------------------------------------
+// Common base for the three array-reduction methods: each thread owns a
+// private force array it accumulates into without protection.
+template <int D>
+class PrivateArrayBase {
+ public:
+  void prepare(int team_size, std::span<const Link>, std::size_t,
+               std::size_t nparticles) {
+    team_size_ = team_size;
+    nparticles_ = nparticles;
+    priv_.resize(static_cast<std::size_t>(team_size));
+    for (auto& a : priv_) a.assign(nparticles, Vec<D>{});
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+    bytes_ = 0;
+  }
+  void thread_begin(int tid, ParticleStore<D>&) {
+    auto& a = priv_[static_cast<std::size_t>(tid)];
+    std::fill(a.begin(), a.end(), Vec<D>{});
+  }
+  void add(int tid, std::int32_t i, const Vec<D>& f, ParticleStore<D>&) {
+    priv_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(i)] += f;
+    ++tallies_[static_cast<std::size_t>(tid)].plain_updates;
+  }
+
+ protected:
+  // Zeroing + reading every private array is the memory traffic that
+  // saturates bandwidth in the paper's Figure 4; count it.
+  std::uint64_t merge_traffic_bytes() const {
+    return 2ull * static_cast<std::uint64_t>(team_size_) *
+           static_cast<std::uint64_t>(nparticles_) * sizeof(Vec<D>);
+  }
+  void collect_base(Counters& c) {
+    for (auto& t : tallies_) {
+      c.atomic_updates += t.atomic_updates;
+      c.plain_updates += t.plain_updates;
+      t = {};
+    }
+    c.reduction_bytes += bytes_;
+    bytes_ = 0;
+  }
+
+  int team_size_ = 1;
+  std::size_t nparticles_ = 0;
+  std::vector<std::vector<Vec<D>>> priv_;
+  std::vector<detail::ThreadTally> tallies_;
+  std::uint64_t bytes_ = 0;
+};
+
+// Merge in one critical region per thread (serialised O(T * N) work).
+template <int D>
+class CriticalAccumulator : public PrivateArrayBase<D> {
+ public:
+  void thread_finish(smp::ThreadTeam& team, int tid, ParticleStore<D>& store) {
+    team.barrier();  // all accumulation done before any merge
+    team.critical([&] {
+      const auto& a = this->priv_[static_cast<std::size_t>(tid)];
+      auto frc = store.forces();
+      for (std::size_t i = 0; i < this->nparticles_; ++i) frc[i] += a[i];
+    });
+    team.barrier();
+    if (tid == 0) this->bytes_ += this->merge_traffic_bytes();
+  }
+  void collect(Counters& c) { this->collect_base(c); }
+};
+
+// Merge in T barrier-separated phases; in phase ph thread t adds its
+// private copy of stripe (t + ph) mod T, so no two threads ever touch the
+// same portion of the global array.
+template <int D>
+class StripeAccumulator : public PrivateArrayBase<D> {
+ public:
+  void thread_finish(smp::ThreadTeam& team, int tid, ParticleStore<D>& store) {
+    const int t_count = this->team_size_;
+    auto frc = store.forces();
+    const auto& a = this->priv_[static_cast<std::size_t>(tid)];
+    for (int ph = 0; ph < t_count; ++ph) {
+      team.barrier();
+      const int stripe = (tid + ph) % t_count;
+      const auto r = smp::static_block(
+          0, static_cast<std::int64_t>(this->nparticles_), stripe, t_count);
+      for (std::int64_t i = r.lo; i < r.hi; ++i) {
+        frc[static_cast<std::size_t>(i)] += a[static_cast<std::size_t>(i)];
+      }
+    }
+    team.barrier();
+    if (tid == 0) this->bytes_ += this->merge_traffic_bytes();
+  }
+  void collect(Counters& c) { this->collect_base(c); }
+};
+
+// One barrier, then a parallel merge over the particle index: thread t
+// sums column i over all private arrays for its particle block.
+template <int D>
+class TransposeAccumulator : public PrivateArrayBase<D> {
+ public:
+  void thread_finish(smp::ThreadTeam& team, int tid, ParticleStore<D>& store) {
+    team.barrier();
+    auto frc = store.forces();
+    const auto r = smp::static_block(
+        0, static_cast<std::int64_t>(this->nparticles_), tid,
+        this->team_size_);
+    for (std::int64_t i = r.lo; i < r.hi; ++i) {
+      Vec<D> sum{};
+      for (int t = 0; t < this->team_size_; ++t) {
+        sum += this->priv_[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(i)];
+      }
+      frc[static_cast<std::size_t>(i)] += sum;
+    }
+    team.barrier();
+    if (tid == 0) this->bytes_ += this->merge_traffic_bytes();
+  }
+  void collect(Counters& c) { this->collect_base(c); }
+};
+
+}  // namespace hdem

@@ -1,0 +1,102 @@
+#include "smp/thread_team.hpp"
+
+#include <stdexcept>
+
+namespace hdem::smp {
+
+Range static_block(std::int64_t begin, std::int64_t end, int tid,
+                   int nthreads) {
+  const std::int64_t n = end > begin ? end - begin : 0;
+  const std::int64_t base = n / nthreads;
+  const std::int64_t rem = n % nthreads;
+  const std::int64_t lo =
+      begin + base * tid + (tid < rem ? tid : rem);
+  const std::int64_t sz = base + (tid < rem ? 1 : 0);
+  return {lo, lo + sz};
+}
+
+ThreadTeam::ThreadTeam(int nthreads) : nthreads_(nthreads) {
+  if (nthreads < 1) throw std::invalid_argument("ThreadTeam: nthreads < 1");
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int t = 1; t < nthreads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (shutdown_) return;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_count_ == nthreads_ - 1) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadTeam::parallel(const std::function<void(int)>& fn) {
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  if (nthreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    done_count_ = 0;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);  // the master participates as thread 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return done_count_ == nthreads_ - 1; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadTeam::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(int, std::int64_t, std::int64_t)>& body) {
+  parallel([&](int tid) {
+    const Range r = static_block(begin, end, tid, nthreads_);
+    if (r.size() > 0) body(tid, r.lo, r.hi);
+  });
+}
+
+void ThreadTeam::barrier() {
+  if (nthreads_ == 1) {
+    barrier_count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == nthreads_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_count_.fetch_add(1, std::memory_order_relaxed);
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+}  // namespace hdem::smp

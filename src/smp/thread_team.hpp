@@ -1,0 +1,116 @@
+// Thread-team runtime — the shared-memory substrate.
+//
+// The paper parallelises with OpenMP PARALLEL DO directives: each major
+// loop forks a team of T threads with a static block schedule and joins at
+// an implicit barrier.  No OpenMP runtime is assumed here; this class
+// provides the same execution structure (fork/join parallel regions,
+// static-schedule parallel_for, in-region barriers, critical sections)
+// over std::thread, and counts every region and barrier episode — the
+// quantities the paper's Section 9.3 overhead analysis is built on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdem::smp {
+
+// Half-open index range.
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t size() const { return hi - lo; }
+};
+
+// The static block schedule: iterations [begin, end) divided into
+// nthreads contiguous chunks, remainder spread over the first chunks.
+Range static_block(std::int64_t begin, std::int64_t end, int tid,
+                   int nthreads);
+
+class ThreadTeam {
+ public:
+  // A team of `nthreads` >= 1.  Thread 0 is the calling ("master") thread;
+  // nthreads - 1 workers are spawned and parked until work arrives.
+  explicit ThreadTeam(int nthreads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return nthreads_; }
+
+  // Run fn(tid) on every team member (a "parallel region"); returns after
+  // all members finish (the implicit join barrier).
+  void parallel(const std::function<void(int)>& fn);
+
+  // parallel region + static block schedule over [begin, end):
+  // body(tid, lo, hi).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(int, std::int64_t, std::int64_t)>&
+                        body);
+
+  // Barrier for use *inside* a parallel region; every team member must
+  // call it.  Counted once per episode (not per thread).
+  void barrier();
+
+  // Serialise a small section of a parallel region.
+  template <class Fn>
+  void critical(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(critical_mu_);
+    critical_count_.fetch_add(1, std::memory_order_relaxed);
+    fn();
+  }
+
+  // Cumulative overhead counters (fork/join episodes, barrier episodes,
+  // critical entries).  Drivers snapshot these into their Counters.
+  std::uint64_t regions() const {
+    return regions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t barriers() const {
+    return barrier_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t criticals() const {
+    return critical_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(int tid);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  // Job dispatch: master publishes (job_, generation_); workers run the job
+  // for their tid and report completion.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+
+  // In-region barrier (central, sense-reversing via generation count).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::mutex critical_mu_;
+  std::atomic<std::uint64_t> regions_{0};
+  std::atomic<std::uint64_t> barrier_count_{0};
+  std::atomic<std::uint64_t> critical_count_{0};
+};
+
+// Atomic accumulation into a shared double (the OpenMP ATOMIC analogue).
+// std::atomic_ref requires the target to be suitably aligned, which holds
+// for elements of Vec<D> arrays.
+inline void atomic_add(double& target, double value) {
+  std::atomic_ref<double> ref(target);
+  ref.fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace hdem::smp

@@ -1,0 +1,93 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hdem {
+
+AsciiPlot::AsciiPlot(std::string title, std::string xlabel, std::string ylabel,
+                     int width, int height)
+    : title_(std::move(title)),
+      xlabel_(std::move(xlabel)),
+      ylabel_(std::move(ylabel)),
+      width_(std::max(16, width)),
+      height_(std::max(6, height)) {}
+
+void AsciiPlot::add_series(PlotSeries s) { series_.push_back(std::move(s)); }
+
+std::string AsciiPlot::render() const {
+  static const char kMarks[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  auto tx = [&](double x) { return logx_ ? std::log2(std::max(x, 1e-12)) : x; };
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      any = true;
+      xmin = std::min(xmin, tx(s.x[i]));
+      xmax = std::max(xmax, tx(s.x[i]));
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  std::ostringstream os;
+  os << title_ << "\n";
+  if (!any) return os.str() + "  (no data)\n";
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+  // Pad y range slightly so extremes don't sit on the frame.
+  const double ypad = 0.04 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char mark = kMarks[si % sizeof kMarks];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      int cx = static_cast<int>(std::lround((tx(s.x[i]) - xmin) /
+                                            (xmax - xmin) * (width_ - 1)));
+      int cy = static_cast<int>(std::lround((s.y[i] - ymin) /
+                                            (ymax - ymin) * (height_ - 1)));
+      cx = std::clamp(cx, 0, width_ - 1);
+      cy = std::clamp(cy, 0, height_ - 1);
+      // y axis grows upward: row 0 is the top of the plot.
+      auto& cell = grid[static_cast<std::size_t>(height_ - 1 - cy)]
+                       [static_cast<std::size_t>(cx)];
+      cell = (cell == ' ' || cell == mark) ? mark : '?';  // '?' marks overlap
+    }
+  }
+
+  char buf[64];
+  for (int r = 0; r < height_; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height_ - 1);
+    std::snprintf(buf, sizeof buf, "%10.3f |", yv);
+    os << buf << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << "\n";
+  std::snprintf(buf, sizeof buf, "%-12.4g", logx_ ? std::exp2(xmin) : xmin);
+  std::string xaxis = std::string(12, ' ') + buf;
+  std::snprintf(buf, sizeof buf, "%s%s", xlabel_.c_str(), logx_ ? " (log2)" : "");
+  std::string xl = buf;
+  std::snprintf(buf, sizeof buf, "%.4g", logx_ ? std::exp2(xmax) : xmax);
+  std::string right = buf;
+  const std::size_t inner = static_cast<std::size_t>(width_);
+  while (xaxis.size() < 12 + (inner - xl.size()) / 2) xaxis += ' ';
+  xaxis += xl;
+  while (xaxis.size() + right.size() < 12 + inner) xaxis += ' ';
+  xaxis += right;
+  os << xaxis << "\n";
+  os << "  y: " << ylabel_ << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  '" << kMarks[si % sizeof kMarks] << "' = " << series_[si].name
+       << "\n";
+  }
+  return os.str();
+}
+
+void AsciiPlot::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace hdem

@@ -1,0 +1,38 @@
+// ASCII line plots for the figure-reproduction benches.
+//
+// Each bench prints both the raw series (as a Table) and a quick-look plot
+// so the *shape* of every paper figure — crossovers, superlinear bumps,
+// efficiency decay — is visible directly in bench_output.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdem {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string xlabel, std::string ylabel,
+            int width = 72, int height = 20);
+
+  void add_series(PlotSeries s);
+  // Use a logarithmic x axis (the paper plots granularity sweeps on log2 x).
+  void set_logx(bool logx) { logx_ = logx; }
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_, xlabel_, ylabel_;
+  int width_, height_;
+  bool logx_ = false;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace hdem

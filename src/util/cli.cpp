@@ -1,0 +1,137 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hdem {
+
+Cli::Cli(int argc, char** argv) : program_(argc > 0 ? argv[0] : "prog") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      errors_.push_back("unexpected positional argument: " + arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      given_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[body] = argv[++i];
+    } else {
+      given_[body] = "";  // boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::lookup(const std::string& name) {
+  auto it = given_.find(name);
+  if (it == given_.end()) return std::nullopt;
+  order_.push_back(name);
+  return it->second;
+}
+
+void Cli::declare(const std::string& name, const std::string& kind,
+                  const std::string& def, const std::string& help) {
+  decls_.push_back({name, kind, def, help});
+}
+
+bool Cli::flag(const std::string& name, const std::string& help) {
+  declare(name, "flag", "off", help);
+  auto v = lookup(name);
+  if (!v) return false;
+  if (!v->empty() && *v != "1" && *v != "true" && *v != "on") {
+    errors_.push_back("--" + name + " is a flag and takes no value");
+    return false;
+  }
+  return true;
+}
+
+std::int64_t Cli::integer(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  declare(name, "int", std::to_string(def), help);
+  auto v = lookup(name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    errors_.push_back("--" + name + ": expected integer, got '" + *v + "'");
+    return def;
+  }
+}
+
+double Cli::real(const std::string& name, double def, const std::string& help) {
+  declare(name, "real", std::to_string(def), help);
+  auto v = lookup(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    errors_.push_back("--" + name + ": expected number, got '" + *v + "'");
+    return def;
+  }
+}
+
+std::string Cli::str(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  declare(name, "string", def, help);
+  auto v = lookup(name);
+  return v ? *v : def;
+}
+
+std::vector<std::int64_t> Cli::integer_list(
+    const std::string& name, const std::vector<std::int64_t>& def,
+    const std::string& help) {
+  std::ostringstream d;
+  for (std::size_t i = 0; i < def.size(); ++i) d << (i ? "," : "") << def[i];
+  declare(name, "int-list", d.str(), help);
+  auto v = lookup(name);
+  if (!v) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoll(item));
+    } catch (...) {
+      errors_.push_back("--" + name + ": bad list element '" + item + "'");
+    }
+  }
+  return out;
+}
+
+bool Cli::finish() {
+  for (const auto& [k, v] : given_) {
+    (void)v;
+    bool known = false;
+    for (const auto& d : decls_) {
+      if (d.name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) errors_.push_back("unknown option --" + k);
+  }
+  if (help_requested_) {
+    std::printf("usage: %s [options]\n\noptions:\n", program_.c_str());
+    for (const auto& d : decls_) {
+      std::printf("  --%-18s %-8s (default: %s)\n        %s\n", d.name.c_str(),
+                  d.kind.c_str(), d.def.c_str(), d.help.c_str());
+    }
+    return true;
+  }
+  if (!errors_.empty()) {
+    for (const auto& e : errors_) std::fprintf(stderr, "error: %s\n", e.c_str());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hdem

@@ -1,0 +1,54 @@
+// Minimal command-line option parser for benches and examples.
+//
+// Accepts "--key=value", "--key value" and boolean "--flag" forms.  Unknown
+// options are an error so typos in benchmark sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hdem {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Declare options (with help text) before reading them; finish() then
+  // verifies every option given on the command line was declared.
+  bool flag(const std::string& name, const std::string& help);
+  std::int64_t integer(const std::string& name, std::int64_t def,
+                       const std::string& help);
+  double real(const std::string& name, double def, const std::string& help);
+  std::string str(const std::string& name, const std::string& def,
+                  const std::string& help);
+  // Comma-separated list of integers, e.g. --procs=1,2,4,8.
+  std::vector<std::int64_t> integer_list(const std::string& name,
+                                         const std::vector<std::int64_t>& def,
+                                         const std::string& help);
+
+  // Returns true if execution should stop (--help given or an error was
+  // reported).  Prints usage/help or the error to stdout/stderr.
+  bool finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> lookup(const std::string& name);
+  void declare(const std::string& name, const std::string& kind,
+               const std::string& def, const std::string& help);
+
+  std::string program_;
+  std::map<std::string, std::string> given_;
+  std::vector<std::string> order_;  // positional/ parse errors
+  struct Decl {
+    std::string name, kind, def, help;
+  };
+  std::vector<Decl> decls_;
+  std::vector<std::string> errors_;
+  bool help_requested_ = false;
+};
+
+}  // namespace hdem

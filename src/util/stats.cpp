@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdem {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(
+      xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double minimum(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+std::vector<double> least_squares(const std::vector<double>& x_rowmajor,
+                                  std::size_t nrows, std::size_t ncols,
+                                  const std::vector<double>& y) {
+  if (x_rowmajor.size() != nrows * ncols || y.size() != nrows) {
+    throw std::invalid_argument("least_squares: shape mismatch");
+  }
+  // Form the normal equations A = X^T X, b = X^T y.
+  std::vector<double> a(ncols * ncols, 0.0);
+  std::vector<double> b(ncols, 0.0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const double* row = &x_rowmajor[r * ncols];
+    for (std::size_t i = 0; i < ncols; ++i) {
+      b[i] += row[i] * y[r];
+      for (std::size_t j = 0; j < ncols; ++j) a[i * ncols + j] += row[i] * row[j];
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> beta = b;
+  for (std::size_t col = 0; col < ncols; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < ncols; ++r) {
+      if (std::abs(a[r * ncols + col]) > std::abs(a[pivot * ncols + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot * ncols + col]) < 1e-300) {
+      throw std::runtime_error("least_squares: singular system");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < ncols; ++j) {
+        std::swap(a[col * ncols + j], a[pivot * ncols + j]);
+      }
+      std::swap(beta[col], beta[pivot]);
+    }
+    const double inv = 1.0 / a[col * ncols + col];
+    for (std::size_t r = 0; r < ncols; ++r) {
+      if (r == col) continue;
+      const double f = a[r * ncols + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < ncols; ++j) {
+        a[r * ncols + j] -= f * a[col * ncols + j];
+      }
+      beta[r] -= f * beta[col];
+    }
+  }
+  for (std::size_t i = 0; i < ncols; ++i) beta[i] /= a[i * ncols + i];
+  return beta;
+}
+
+std::vector<double> nonneg_least_squares(const std::vector<double>& x_rowmajor,
+                                         std::size_t nrows, std::size_t ncols,
+                                         const std::vector<double>& y,
+                                         int iterations) {
+  if (x_rowmajor.size() != nrows * ncols || y.size() != nrows) {
+    throw std::invalid_argument("nonneg_least_squares: shape mismatch");
+  }
+  // Projected coordinate descent on 0.5*||X beta - y||^2 with beta >= 0.
+  std::vector<double> beta(ncols, 0.0);
+  std::vector<double> resid = y;  // y - X beta, beta starts at 0
+  // Column squared norms.
+  std::vector<double> colsq(ncols, 0.0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t j = 0; j < ncols; ++j) {
+      const double v = x_rowmajor[r * ncols + j];
+      colsq[j] += v * v;
+    }
+  }
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t j = 0; j < ncols; ++j) {
+      if (colsq[j] == 0.0) continue;
+      double grad = 0.0;  // X_j . resid
+      for (std::size_t r = 0; r < nrows; ++r) {
+        grad += x_rowmajor[r * ncols + j] * resid[r];
+      }
+      const double old = beta[j];
+      double next = old + grad / colsq[j];
+      if (next < 0.0) next = 0.0;
+      const double delta = next - old;
+      if (delta == 0.0) continue;
+      beta[j] = next;
+      for (std::size_t r = 0; r < nrows; ++r) {
+        resid[r] -= delta * x_rowmajor[r * ncols + j];
+      }
+    }
+  }
+  return beta;
+}
+
+}  // namespace hdem

@@ -1,0 +1,51 @@
+// Small statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdem {
+
+// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Median of a copy of the data (does not modify the input).
+double median(std::vector<double> xs);
+
+// Minimum of a vector; 0 for empty input.  The paper reports "the minimum
+// obtained from at least three independent runs" — benches use this.
+double minimum(const std::vector<double>& xs);
+
+// Simple ordinary least squares for y ~= X * beta, solved via normal
+// equations with Gaussian elimination.  Used by the machine-model
+// calibrator (tiny systems: a handful of parameters, <= 16 observations).
+// Returns beta of size ncols; X is row-major nrows x ncols.
+std::vector<double> least_squares(const std::vector<double>& x_rowmajor,
+                                  std::size_t nrows, std::size_t ncols,
+                                  const std::vector<double>& y);
+
+// Non-negative least squares via projected coordinate descent; same
+// interface as least_squares.  Machine cost constants must not be negative.
+std::vector<double> nonneg_least_squares(const std::vector<double>& x_rowmajor,
+                                         std::size_t nrows, std::size_t ncols,
+                                         const std::vector<double>& y,
+                                         int iterations = 2000);
+
+}  // namespace hdem

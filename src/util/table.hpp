@@ -1,0 +1,30 @@
+// ASCII table rendering for the benchmark harness.
+//
+// The benches regenerate the paper's tables/figure data as aligned text
+// tables so `bench_output.txt` reads like the paper's evaluation section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdem {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string render() const;
+  void print() const;  // render() to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdem

@@ -1,0 +1,104 @@
+// Fixed-dimension Cartesian vector used throughout the DEM library.
+//
+// The paper's test code works "in an arbitrary number of dimensions D"; we
+// template the whole geometry layer on D and instantiate D = 2 and D = 3
+// (the two cases the paper evaluates).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace hdem {
+
+template <int D>
+struct Vec {
+  static_assert(D >= 1 && D <= 4, "Vec supports dimensions 1..4");
+
+  std::array<double, D> v{};
+
+  constexpr Vec() = default;
+
+  // Broadcast constructor: Vec<D>(s) sets every component to s.
+  constexpr explicit Vec(double s) {
+    for (int d = 0; d < D; ++d) v[d] = s;
+  }
+
+  template <class... Ts>
+    requires(sizeof...(Ts) == static_cast<std::size_t>(D) &&
+             sizeof...(Ts) > 1)
+  constexpr Vec(Ts... cs) : v{static_cast<double>(cs)...} {}
+
+  constexpr double& operator[](int d) { return v[d]; }
+  constexpr double operator[](int d) const { return v[d]; }
+
+  constexpr Vec& operator+=(const Vec& o) {
+    for (int d = 0; d < D; ++d) v[d] += o.v[d];
+    return *this;
+  }
+  constexpr Vec& operator-=(const Vec& o) {
+    for (int d = 0; d < D; ++d) v[d] -= o.v[d];
+    return *this;
+  }
+  constexpr Vec& operator*=(double s) {
+    for (int d = 0; d < D; ++d) v[d] *= s;
+    return *this;
+  }
+  constexpr Vec& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend constexpr Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend constexpr Vec operator*(Vec a, double s) { return a *= s; }
+  friend constexpr Vec operator*(double s, Vec a) { return a *= s; }
+  friend constexpr Vec operator/(Vec a, double s) { return a /= s; }
+  friend constexpr Vec operator-(const Vec& a) {
+    Vec r;
+    for (int d = 0; d < D; ++d) r.v[d] = -a.v[d];
+    return r;
+  }
+
+  friend constexpr bool operator==(const Vec& a, const Vec& b) {
+    return a.v == b.v;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec& a) {
+    os << '(';
+    for (int d = 0; d < D; ++d) os << (d ? "," : "") << a.v[d];
+    return os << ')';
+  }
+};
+
+template <int D>
+constexpr double dot(const Vec<D>& a, const Vec<D>& b) {
+  double s = 0.0;
+  for (int d = 0; d < D; ++d) s += a.v[d] * b.v[d];
+  return s;
+}
+
+template <int D>
+constexpr double norm2(const Vec<D>& a) {
+  return dot(a, a);
+}
+
+template <int D>
+inline double norm(const Vec<D>& a) {
+  return std::sqrt(norm2(a));
+}
+
+// Componentwise min/max, used for bounding boxes.
+template <int D>
+constexpr Vec<D> cmin(const Vec<D>& a, const Vec<D>& b) {
+  Vec<D> r;
+  for (int d = 0; d < D; ++d) r.v[d] = a.v[d] < b.v[d] ? a.v[d] : b.v[d];
+  return r;
+}
+
+template <int D>
+constexpr Vec<D> cmax(const Vec<D>& a, const Vec<D>& b) {
+  Vec<D> r;
+  for (int d = 0; d < D; ++d) r.v[d] = a.v[d] > b.v[d] ? a.v[d] : b.v[d];
+  return r;
+}
+
+}  // namespace hdem

@@ -1,0 +1,112 @@
+#include "core/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdem {
+namespace {
+
+TEST(Boundary, PeriodicWrapAbove) {
+  Boundary<2> bc(BoundaryKind::kPeriodic, Vec<2>(10.0, 5.0));
+  Vec<2> x(10.2, 4.0);
+  bc.wrap(x);
+  EXPECT_NEAR(x[0], 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(Boundary, PeriodicWrapBelow) {
+  Boundary<2> bc(BoundaryKind::kPeriodic, Vec<2>(10.0, 5.0));
+  Vec<2> x(-0.3, 0.0);
+  bc.wrap(x);
+  EXPECT_NEAR(x[0], 9.7, 1e-12);
+}
+
+TEST(Boundary, PeriodicWrapFarOutside) {
+  Boundary<1> bc(BoundaryKind::kPeriodic, Vec<1>(2.0));
+  Vec<1> x(7.5);
+  bc.wrap(x);
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  Vec<1> y(-5.5);
+  bc.wrap(y);
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+}
+
+TEST(Boundary, WrapIdempotentInsideBox) {
+  Boundary<3> bc(BoundaryKind::kPeriodic, Vec<3>(1.0));
+  Vec<3> x(0.25, 0.5, 0.999);
+  Vec<3> before = x;
+  bc.wrap(x);
+  EXPECT_EQ(x, before);
+}
+
+TEST(Boundary, MinimumImageDisplacement) {
+  Boundary<2> bc(BoundaryKind::kPeriodic, Vec<2>(10.0, 10.0));
+  // Particles at opposite edges are actually close.
+  const Vec<2> d = bc.displacement(Vec<2>(9.9, 5.0), Vec<2>(0.1, 5.0));
+  EXPECT_NEAR(d[0], -0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+}
+
+TEST(Boundary, MinimumImageAntisymmetric) {
+  Boundary<3> bc(BoundaryKind::kPeriodic, Vec<3>(4.0));
+  const Vec<3> a(0.1, 3.9, 2.0), b(3.8, 0.2, 2.5);
+  const Vec<3> dab = bc.displacement(a, b);
+  const Vec<3> dba = bc.displacement(b, a);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(dab[k], -dba[k], 1e-12);
+}
+
+TEST(Boundary, WallsDisplacementIsPlain) {
+  Boundary<2> bc(BoundaryKind::kWalls, Vec<2>(10.0, 10.0));
+  const Vec<2> d = bc.displacement(Vec<2>(9.9, 5.0), Vec<2>(0.1, 5.0));
+  EXPECT_NEAR(d[0], 9.8, 1e-12);
+}
+
+TEST(Boundary, WallsWrapIsNoop) {
+  Boundary<2> bc(BoundaryKind::kWalls, Vec<2>(1.0, 1.0));
+  Vec<2> x(1.5, -0.5);
+  bc.wrap(x);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+  EXPECT_DOUBLE_EQ(x[1], -0.5);
+}
+
+TEST(Boundary, WallReflectLow) {
+  Boundary<1> bc(BoundaryKind::kWalls, Vec<1>(2.0));
+  Vec<1> x(-0.1), v(-1.0);
+  bc.reflect(x, v);
+  EXPECT_NEAR(x[0], 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+TEST(Boundary, WallReflectHigh) {
+  Boundary<1> bc(BoundaryKind::kWalls, Vec<1>(2.0));
+  Vec<1> x(2.3), v(0.5);
+  bc.reflect(x, v);
+  EXPECT_NEAR(x[0], 1.7, 1e-12);
+  EXPECT_DOUBLE_EQ(v[0], -0.5);
+}
+
+TEST(Boundary, ReflectNoopInside) {
+  Boundary<2> bc(BoundaryKind::kWalls, Vec<2>(2.0, 2.0));
+  Vec<2> x(1.0, 0.5), v(1.0, -1.0);
+  bc.reflect(x, v);
+  EXPECT_EQ(x, (Vec<2>(1.0, 0.5)));
+  EXPECT_EQ(v, (Vec<2>(1.0, -1.0)));
+}
+
+TEST(Boundary, PeriodicReflectIsNoop) {
+  Boundary<1> bc(BoundaryKind::kPeriodic, Vec<1>(2.0));
+  Vec<1> x(2.3), v(0.5);
+  bc.reflect(x, v);
+  EXPECT_DOUBLE_EQ(x[0], 2.3);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+}
+
+TEST(Boundary, ExtremeOvershootClamped) {
+  Boundary<1> bc(BoundaryKind::kWalls, Vec<1>(1.0));
+  Vec<1> x(5.0), v(3.0);
+  bc.reflect(x, v);
+  EXPECT_GE(x[0], 0.0);
+  EXPECT_LE(x[0], 1.0);
+}
+
+}  // namespace
+}  // namespace hdem

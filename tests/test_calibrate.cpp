@@ -1,0 +1,113 @@
+#include "perf/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "perf/paper_data.hpp"
+
+namespace hdem::perf {
+namespace {
+
+// Synthetic observations generated from known constants must be recovered.
+TEST(Calibrate, RecoversKnownConstants) {
+  MachineSpec base = generic_host();
+  base.cache_bytes = 1e6;
+  const double t_pair = 2e-7, t_pair3 = 1e-7, t_update = 5e-7, t_mem = 3e-7;
+
+  std::vector<CalibrationObservation> obs;
+  int idx = 0;
+  for (int D : {2, 3}) {
+    for (double links_per_particle : {3.0, 6.0}) {
+      for (bool reordered : {false, true}) {
+        CalibrationObservation o;
+        o.run.D = D;
+        o.run.n_global = 10000;
+        o.run.reordered = reordered;
+        o.run.iterations = 1;
+        o.run.agg.position_updates = 10000;
+        const auto links =
+            static_cast<std::uint64_t>(10000 * links_per_particle);
+        o.run.agg.force_evals = links;
+        // Random order: huge gaps (always miss). Reordered: tiny gaps.
+        for (std::uint64_t l = 0; l < links; ++l) {
+          o.run.agg.record_link_gap(reordered ? 4 : 5000 + idx);
+        }
+        const double miss = CostModel::miss_probability(
+            base, o.run, calibration_gap_scale(o.run, 1e6));
+        const double scale = 1e6 / 10000.0;
+        o.paper_seconds =
+            scale * (links * (t_pair + (D == 3 ? t_pair3 : 0.0)) +
+                     10000 * t_update + links * miss * t_mem);
+        obs.push_back(o);
+        ++idx;
+      }
+    }
+  }
+  const auto res = calibrate(base, obs, 1e6);
+  EXPECT_LT(res.max_rel_error, 1e-6);
+  EXPECT_NEAR(res.spec.t_pair, t_pair, 1e-10);
+  EXPECT_NEAR(res.spec.t_pair3, t_pair3, 1e-10);
+  EXPECT_NEAR(res.spec.t_update, t_update, 1e-10);
+  EXPECT_NEAR(res.spec.t_mem, t_mem, 1e-10);
+}
+
+TEST(Calibrate, GapScaleExponents) {
+  RunMeasurement random_run;
+  random_run.D = 3;
+  random_run.n_global = 1000;
+  random_run.reordered = false;
+  EXPECT_DOUBLE_EQ(calibration_gap_scale(random_run, 8000.0), 8.0);
+  RunMeasurement ordered_run = random_run;
+  ordered_run.reordered = true;
+  EXPECT_DOUBLE_EQ(calibration_gap_scale(ordered_run, 8000.0), 4.0);
+  ordered_run.D = 2;
+  EXPECT_NEAR(calibration_gap_scale(ordered_run, 8000.0), std::sqrt(8.0),
+              1e-12);
+  // Never scales down.
+  EXPECT_DOUBLE_EQ(calibration_gap_scale(random_run, 10.0), 1.0);
+}
+
+TEST(Calibrate, RejectsBadInputs) {
+  const MachineSpec base = generic_host();
+  std::vector<CalibrationObservation> few(2);
+  EXPECT_THROW(calibrate(base, few, 1e6), std::invalid_argument);
+
+  CalibrationObservation parallel_obs;
+  parallel_obs.run.nprocs = 2;
+  parallel_obs.run.iterations = 1;
+  std::vector<CalibrationObservation> bad(3, parallel_obs);
+  EXPECT_THROW(calibrate(base, bad, 1e6), std::invalid_argument);
+}
+
+// End-to-end: calibrating all three paper platforms from real (small)
+// serial runs must reproduce Tables 1 and 2 within a modest tolerance.
+TEST(Calibrate, PaperTablesWithinTolerance) {
+  std::vector<RunMeasurement> runs;
+  for (bool reorder : {false, true}) {
+    for (auto [D, rcf] : {std::pair{2, 1.5}, {2, 2.0}, {3, 1.5}, {3, 2.0}}) {
+      MeasureSpec s;
+      s.D = D;
+      s.n = 20000;
+      s.rc_factor = rcf;
+      s.reorder = reorder;
+      s.mode = MeasureSpec::Mode::kSerial;
+      s.iterations = 2;
+      runs.push_back(measure_run(s).run);
+    }
+  }
+  for (const auto& base : {t3e900(), sun_hpc3500(), compaq_es40_cluster()}) {
+    std::vector<CalibrationObservation> obs;
+    for (const auto& r : runs) {
+      obs.push_back(
+          {r, paper_serial_seconds(base.name, r.D, r.rc_factor, r.reordered)});
+    }
+    const auto res = calibrate(base, obs, kPaperParticles);
+    EXPECT_LT(res.mean_rel_error, 0.12) << base.name;
+    EXPECT_LT(res.max_rel_error, 0.35) << base.name;
+    EXPECT_GT(res.spec.t_update, 0.0) << base.name;
+  }
+}
+
+}  // namespace
+}  // namespace hdem::perf

@@ -1,0 +1,187 @@
+#include "core/cell_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace hdem {
+namespace {
+
+template <int D>
+std::array<bool, D> no_wrap() {
+  std::array<bool, D> w{};
+  w.fill(false);
+  return w;
+}
+
+template <int D>
+std::array<bool, D> all_wrap() {
+  std::array<bool, D> w{};
+  w.fill(true);
+  return w;
+}
+
+TEST(CellGrid, DimsFromExtentAndCellSize) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 0.5), 0.1, no_wrap<2>());
+  EXPECT_EQ(g.dims()[0], 10);
+  EXPECT_EQ(g.dims()[1], 5);
+  EXPECT_EQ(g.ncells(), 50);
+}
+
+TEST(CellGrid, CellsAtLeastMinSize) {
+  CellGrid<1> g;
+  g.configure(Vec<1>(0.0), Vec<1>(1.0), 0.3, no_wrap<1>());
+  // 1.0 / 0.3 -> 3 cells of size 1/3 >= 0.3.
+  EXPECT_EQ(g.dims()[0], 3);
+}
+
+TEST(CellGrid, TinyExtentGivesOneCell) {
+  CellGrid<1> g;
+  g.configure(Vec<1>(0.0), Vec<1>(0.05), 0.1, no_wrap<1>());
+  EXPECT_EQ(g.dims()[0], 1);
+}
+
+TEST(CellGrid, RejectsWrappedUnderThreeCells) {
+  CellGrid<1> g;
+  EXPECT_THROW(g.configure(Vec<1>(0.0), Vec<1>(0.2), 0.1, all_wrap<1>()),
+               std::invalid_argument);
+}
+
+TEST(CellGrid, IndexRoundTrip) {
+  CellGrid<3> g;
+  g.configure(Vec<3>(0.0), Vec<3>(1.0), 0.2, no_wrap<3>());
+  for (std::int32_t c = 0; c < g.ncells(); ++c) {
+    EXPECT_EQ(g.cell_index(g.coords_of(c)), c);
+  }
+}
+
+TEST(CellGrid, CellOfClampsOutOfRange) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.25, no_wrap<2>());
+  EXPECT_EQ(g.cell_of(Vec<2>(-0.5, 0.1)), g.cell_of(Vec<2>(0.0, 0.1)));
+  EXPECT_EQ(g.cell_of(Vec<2>(2.0, 0.1)), g.cell_of(Vec<2>(0.999, 0.1)));
+}
+
+TEST(CellGrid, NonZeroOrigin) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(-1.0, 2.0), Vec<2>(0.0, 3.0), 0.5, no_wrap<2>());
+  const auto c = g.coords_of(g.cell_of(Vec<2>(-0.9, 2.9)));
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[1], 1);
+}
+
+TEST(CellGrid, BinPartitionsAllParticles) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.2, no_wrap<2>());
+  Rng rng(3);
+  std::vector<Vec<2>> pos(500);
+  for (auto& p : pos) p = Vec<2>(rng.uniform(), rng.uniform());
+  g.bin(pos, pos.size());
+  std::set<std::int32_t> seen;
+  for (std::int32_t c = 0; c < g.ncells(); ++c) {
+    for (std::int32_t i : g.cell_particles(c)) {
+      EXPECT_TRUE(seen.insert(i).second) << "particle binned twice";
+      EXPECT_EQ(g.cell_of(pos[static_cast<std::size_t>(i)]), c);
+    }
+  }
+  EXPECT_EQ(seen.size(), pos.size());
+}
+
+TEST(CellGrid, OrderIsCellOrderedPermutation) {
+  CellGrid<1> g;
+  g.configure(Vec<1>(0.0), Vec<1>(1.0), 0.25, no_wrap<1>());
+  std::vector<Vec<1>> pos = {Vec<1>(0.9), Vec<1>(0.1), Vec<1>(0.6),
+                             Vec<1>(0.3)};
+  g.bin(pos, pos.size());
+  const auto& order = g.order();
+  ASSERT_EQ(order.size(), 4u);
+  // Cell order: 0.1 (cell 0), 0.3 (cell 1), 0.6 (cell 2), 0.9 (cell 3).
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 0);
+}
+
+TEST(CellGrid, BinSubsetOnly) {
+  CellGrid<1> g;
+  g.configure(Vec<1>(0.0), Vec<1>(1.0), 0.25, no_wrap<1>());
+  std::vector<Vec<1>> pos = {Vec<1>(0.1), Vec<1>(0.9), Vec<1>(0.5)};
+  g.bin(pos, 2);  // ignore the third particle
+  EXPECT_EQ(g.order().size(), 2u);
+}
+
+TEST(CellGrid, ResetOrderToIdentity) {
+  CellGrid<1> g;
+  g.configure(Vec<1>(0.0), Vec<1>(1.0), 0.25, no_wrap<1>());
+  std::vector<Vec<1>> pos = {Vec<1>(0.9), Vec<1>(0.1)};
+  g.bin(pos, pos.size());
+  g.reset_order_to_identity();
+  EXPECT_EQ(g.order()[0], 0);
+  EXPECT_EQ(g.order()[1], 1);
+}
+
+TEST(CellGrid, HalfStencilCount) {
+  EXPECT_EQ(CellGrid<1>::half_stencil().size(), 1u);
+  EXPECT_EQ(CellGrid<2>::half_stencil().size(), 4u);
+  EXPECT_EQ(CellGrid<3>::half_stencil().size(), 13u);
+}
+
+TEST(CellGrid, HalfStencilFirstNonzeroPositive) {
+  for (const auto& off : CellGrid<3>::half_stencil()) {
+    int first = 0;
+    for (int d = 0; d < 3; ++d) {
+      if (off[d] != 0) {
+        first = off[d];
+        break;
+      }
+    }
+    EXPECT_GT(first, 0);
+  }
+}
+
+TEST(CellGrid, HalfStencilPlusReflectionCoversAllNeighbors) {
+  std::set<std::array<int, 2>> all;
+  for (const auto& off : CellGrid<2>::half_stencil()) {
+    all.insert(off);
+    all.insert({-off[0], -off[1]});
+  }
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(CellGrid, NeighborNoWrapReturnsMinusOne) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.25, no_wrap<2>());
+  const std::int32_t corner = g.cell_index({0, 0});
+  EXPECT_EQ(g.neighbor(corner, {-1, 0}), -1);
+  EXPECT_EQ(g.neighbor(corner, {0, -1}), -1);
+  EXPECT_EQ(g.neighbor(corner, {1, 1}), g.cell_index({1, 1}));
+}
+
+TEST(CellGrid, NeighborWraps) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.25, all_wrap<2>());
+  const std::int32_t corner = g.cell_index({0, 0});
+  EXPECT_EQ(g.neighbor(corner, {-1, -1}), g.cell_index({3, 3}));
+}
+
+TEST(CellGrid, EmptyBin) {
+  CellGrid<2> g;
+  g.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.5, no_wrap<2>());
+  std::vector<Vec<2>> pos;
+  g.bin(pos, 0);
+  for (std::int32_t c = 0; c < g.ncells(); ++c) {
+    EXPECT_TRUE(g.cell_particles(c).empty());
+  }
+}
+
+TEST(CellGrid, ThrowsOnEmptyExtent) {
+  CellGrid<1> g;
+  EXPECT_THROW(g.configure(Vec<1>(1.0), Vec<1>(1.0), 0.1, no_wrap<1>()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdem

@@ -1,0 +1,109 @@
+#include "core/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdem {
+namespace {
+
+TEST(Counters, MergeAddsExtensiveFields) {
+  Counters a, b;
+  a.particles = 10;
+  a.force_evals = 100;
+  a.msgs_sent = 5;
+  b.particles = 20;
+  b.force_evals = 50;
+  b.msgs_sent = 7;
+  a.merge(b);
+  EXPECT_EQ(a.particles, 30u);
+  EXPECT_EQ(a.force_evals, 150u);
+  EXPECT_EQ(a.msgs_sent, 12u);
+}
+
+TEST(Counters, MergeTakesMaxOfIterations) {
+  // Iterations are per-rank and identical across ranks; merging must not
+  // multiply them by the rank count.
+  Counters a, b;
+  a.iterations = 8;
+  b.iterations = 8;
+  a.merge(b);
+  EXPECT_EQ(a.iterations, 8u);
+}
+
+TEST(Counters, DeltaSubtractsCumulativeKeepsCurrent) {
+  Counters before, after;
+  before.force_evals = 100;
+  before.iterations = 2;
+  after.force_evals = 300;
+  after.iterations = 6;
+  after.links_core = 42;  // current value
+  after.particles = 1000;
+  const Counters d = counters_delta(after, before);
+  EXPECT_EQ(d.force_evals, 200u);
+  EXPECT_EQ(d.iterations, 4u);
+  EXPECT_EQ(d.links_core, 42u);
+  EXPECT_EQ(d.particles, 1000u);
+}
+
+TEST(Counters, GapHistogramBuckets) {
+  Counters c;
+  c.record_link_gap(0);
+  c.record_link_gap(1);
+  c.record_link_gap(2);
+  c.record_link_gap(3);
+  c.record_link_gap(1024);
+  EXPECT_EQ(c.link_gap_count, 5u);
+  EXPECT_EQ(c.link_gap_hist[0], 2u);  // gaps 0 and 1
+  EXPECT_EQ(c.link_gap_hist[1], 2u);  // gaps 2 and 3
+  EXPECT_EQ(c.link_gap_hist[10], 1u);
+}
+
+TEST(Counters, MeanLinkGap) {
+  Counters c;
+  c.record_link_gap(2);
+  c.record_link_gap(4);
+  EXPECT_DOUBLE_EQ(c.mean_link_gap(), 3.0);
+  Counters empty;
+  EXPECT_DOUBLE_EQ(empty.mean_link_gap(), 0.0);
+}
+
+TEST(Counters, GapFractionAbove) {
+  Counters c;
+  for (int i = 0; i < 50; ++i) c.record_link_gap(4);      // bucket mid 6
+  for (int i = 0; i < 50; ++i) c.record_link_gap(4096);   // bucket mid 6144
+  EXPECT_DOUBLE_EQ(c.gap_fraction_above(1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.gap_fraction_above(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.gap_fraction_above(1e9), 0.0);
+}
+
+TEST(Counters, GapFractionEmptyIsZero) {
+  Counters c;
+  EXPECT_DOUBLE_EQ(c.gap_fraction_above(10.0), 0.0);
+}
+
+TEST(Counters, MergeAddsHistogram) {
+  Counters a, b;
+  a.record_link_gap(10);
+  b.record_link_gap(10);
+  b.record_link_gap(100000);
+  a.merge(b);
+  EXPECT_EQ(a.link_gap_count, 3u);
+  EXPECT_NEAR(a.gap_fraction_above(1000.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Counters, SummaryMentionsKeyFields) {
+  Counters c;
+  c.iterations = 3;
+  c.links_core = 17;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("iterations=3"), std::string::npos);
+  EXPECT_NE(s.find("core=17"), std::string::npos);
+}
+
+TEST(Counters, HugeGapSaturatesLastBucket) {
+  Counters c;
+  c.record_link_gap(~0ull);
+  EXPECT_EQ(c.link_gap_hist[Counters::kGapBuckets - 1], 1u);
+}
+
+}  // namespace
+}  // namespace hdem

@@ -1,0 +1,144 @@
+#include "core/force_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hdem {
+namespace {
+
+TEST(ElasticSphere, NoForceBeyondDiameter) {
+  ElasticSphere m{100.0, 0.05};
+  double s, pe;
+  EXPECT_FALSE(m.pair(0.06 * 0.06, 0.0, s, pe));
+  EXPECT_FALSE(m.pair(0.05 * 0.05, 0.0, s, pe));  // contact exactly at d
+}
+
+TEST(ElasticSphere, RepulsiveInsideDiameter) {
+  ElasticSphere m{100.0, 0.05};
+  double s, pe;
+  ASSERT_TRUE(m.pair(0.04 * 0.04, 0.0, s, pe));
+  EXPECT_GT(s, 0.0) << "contact force must be repulsive";
+  EXPECT_GT(pe, 0.0);
+}
+
+TEST(ElasticSphere, LinearSpringMagnitude) {
+  const double k = 100.0, d = 0.05, r = 0.03;
+  ElasticSphere m{k, d};
+  double s, pe;
+  ASSERT_TRUE(m.pair(r * r, 0.0, s, pe));
+  // |F| = s * r must equal k (d - r).
+  EXPECT_NEAR(s * r, k * (d - r), 1e-12);
+  EXPECT_NEAR(pe, 0.5 * k * (d - r) * (d - r), 1e-15);
+}
+
+TEST(ElasticSphere, ForceIsGradientOfPotential) {
+  const double k = 80.0, d = 0.05;
+  ElasticSphere m{k, d};
+  const double r = 0.035, h = 1e-7;
+  double s, pe_lo, pe_hi, pe;
+  ASSERT_TRUE(m.pair(r * r, 0.0, s, pe));
+  ASSERT_TRUE(m.pair((r - h) * (r - h), 0.0, s, pe_lo));
+  double s_mid;
+  ASSERT_TRUE(m.pair(r * r, 0.0, s_mid, pe));
+  ASSERT_TRUE(m.pair((r + h) * (r + h), 0.0, s, pe_hi));
+  const double dpe_dr = (pe_hi - pe_lo) / (2.0 * h);
+  EXPECT_NEAR(-dpe_dr, s_mid * r, 1e-4 * k * d);
+}
+
+TEST(ElasticSphere, ForceVanishesAtContact) {
+  ElasticSphere m{100.0, 0.05};
+  double s, pe;
+  ASSERT_TRUE(m.pair(0.049999 * 0.049999, 0.0, s, pe));
+  EXPECT_LT(s * 0.049999, 1e-3);
+}
+
+TEST(DissipativeSphere, ReducesToElasticWithoutDamping) {
+  ElasticSphere e{100.0, 0.05};
+  DissipativeSphere d{100.0, 0.0, 0.05};
+  for (double r : {0.02, 0.035, 0.049}) {
+    double se, pe_e, sd, pe_d;
+    ASSERT_TRUE(e.pair(r * r, 0.0, se, pe_e));
+    ASSERT_TRUE(d.pair(r * r, 0.123, sd, pe_d));  // rv ignored at gamma = 0
+    EXPECT_DOUBLE_EQ(se, sd);
+    EXPECT_DOUBLE_EQ(pe_e, pe_d);
+  }
+}
+
+TEST(DissipativeSphere, NoContactBeyondDiameter) {
+  DissipativeSphere d{100.0, 5.0, 0.05};
+  double s, pe;
+  EXPECT_FALSE(d.pair(0.06 * 0.06, -1.0, s, pe));
+}
+
+TEST(DissipativeSphere, DampingOpposesApproach) {
+  // Approaching particles (rv < 0) must feel *extra* repulsion; separating
+  // ones less — that asymmetry is what dissipates collision energy.
+  DissipativeSphere d{100.0, 2.0, 0.05};
+  const double r = 0.04;
+  double s_in, s_out, pe;
+  ASSERT_TRUE(d.pair(r * r, -1e-3, s_in, pe));
+  ASSERT_TRUE(d.pair(r * r, +1e-3, s_out, pe));
+  EXPECT_GT(s_in, s_out);
+  double s_still;
+  ASSERT_TRUE(d.pair(r * r, 0.0, s_still, pe));
+  EXPECT_GT(s_in, s_still);
+  EXPECT_LT(s_out, s_still);
+}
+
+TEST(DissipativeSphere, NeedsVelocity) {
+  EXPECT_TRUE(DissipativeSphere::needs_velocity);
+}
+
+TEST(BondedSpring, EquilibriumAtRestLength) {
+  BondedSpring b{200.0, 0.0, 0.05};
+  double s, pe;
+  ASSERT_TRUE(b.pair(0.05 * 0.05, 0.0, s, pe));
+  EXPECT_NEAR(s, 0.0, 1e-9);
+  EXPECT_NEAR(pe, 0.0, 1e-12);
+}
+
+TEST(BondedSpring, AttractsWhenStretched) {
+  BondedSpring b{200.0, 0.0, 0.05};
+  double s, pe;
+  ASSERT_TRUE(b.pair(0.07 * 0.07, 0.0, s, pe));
+  EXPECT_LT(s, 0.0) << "stretched bond pulls the particles together";
+  EXPECT_GT(pe, 0.0);
+}
+
+TEST(BondedSpring, RepelsWhenCompressed) {
+  BondedSpring b{200.0, 0.0, 0.05};
+  double s, pe;
+  ASSERT_TRUE(b.pair(0.03 * 0.03, 0.0, s, pe));
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(BondedSpring, DampingOpposesSeparationRate) {
+  BondedSpring b{0.0, 2.0, 0.05};  // pure damper
+  double s, pe;
+  const double r = 0.05;
+  // rv > 0 means the particles are separating: force must pull them back.
+  ASSERT_TRUE(b.pair(r * r, +1.0e-3, s, pe));
+  EXPECT_LT(s, 0.0);
+  ASSERT_TRUE(b.pair(r * r, -1.0e-3, s, pe));
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(BondedSpring, DampingMagnitude) {
+  const double gamma = 3.0, r = 0.04;
+  BondedSpring b{0.0, gamma, 0.04};
+  double s, pe;
+  const double vrel_radial = 0.7;        // (vi-vj).rhat
+  const double rv = vrel_radial * r;     // (vi-vj).disp
+  ASSERT_TRUE(b.pair(r * r, rv, s, pe));
+  // |F| = gamma * vrel_radial; F = s * disp so |F| = |s| * r.
+  EXPECT_NEAR(std::abs(s) * r, gamma * vrel_radial, 1e-12);
+}
+
+TEST(BondedSpring, NeedsVelocityFlag) {
+  EXPECT_TRUE(BondedSpring::needs_velocity);
+  EXPECT_FALSE(ElasticSphere::needs_velocity);
+}
+
+}  // namespace
+}  // namespace hdem

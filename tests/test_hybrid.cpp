@@ -1,0 +1,158 @@
+// The hybrid driver (message passing between ranks, thread team over each
+// block's links) must reproduce the serial trajectory for any combination
+// of ranks, threads, granularity and reduction strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <map>
+
+#include "core/serial_sim.hpp"
+#include "driver/mp_sim.hpp"
+
+namespace hdem {
+namespace {
+
+struct Case {
+  int nprocs;
+  int nthreads;
+  int blocks_per_proc;
+  ReductionKind reduction;
+};
+
+class HybridEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HybridEquivalence, TrajectoryMatchesSerial) {
+  const Case p = GetParam();
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.seed = 51;
+  cfg.velocity_scale = 0.8;
+  const std::uint64_t n = 600;
+  const int steps = 120;
+
+  auto serial = SerialSim<2>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, n);
+  serial.run(steps);
+  std::map<int, Vec<2>> ref;
+  for (std::size_t i = 0; i < serial.store().size(); ++i) {
+    Vec<2> q = serial.store().pos(i);
+    serial.boundary().wrap(q);
+    ref[serial.store().id(i)] = q;
+  }
+
+  const auto init = uniform_random_particles(cfg, n);
+  const auto layout = DecompLayout<2>::make(p.nprocs, p.blocks_per_proc);
+  mp::run(p.nprocs, [&](mp::Comm& comm) {
+    typename MpSim<2>::Options opts;
+    opts.nthreads = p.nthreads;
+    opts.reduction = p.reduction;
+    MpSim<2> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
+    EXPECT_TRUE(sim.hybrid());
+    sim.run(static_cast<std::uint64_t>(steps));
+    auto state = sim.gather_state();
+    if (comm.rank() != 0) return;
+    Boundary<2> bc(cfg.bc, cfg.box);
+    double max_err = 0.0;
+    for (auto& r : state) {
+      Vec<2> q = r.pos;
+      bc.wrap(q);
+      max_err = std::max(max_err, norm(bc.displacement(q, ref.at(r.id))));
+    }
+    EXPECT_LT(max_err, 1e-9);
+    EXPECT_GT(sim.counters().rebuilds, 1u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridEquivalence,
+    ::testing::Values(
+        Case{2, 2, 1, ReductionKind::kSelectedAtomic},
+        Case{2, 3, 4, ReductionKind::kSelectedAtomic},
+        Case{4, 2, 2, ReductionKind::kAtomicAll},
+        Case{4, 2, 2, ReductionKind::kTranspose},
+        Case{2, 4, 8, ReductionKind::kStripe},
+        Case{1, 4, 4, ReductionKind::kSelectedAtomic}),
+    [](const auto& info) {
+      std::string name = to_string(info.param.reduction);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return "P" + std::to_string(info.param.nprocs) + "_T" +
+             std::to_string(info.param.nthreads) + "_B" +
+             std::to_string(info.param.blocks_per_proc) + "_" + name;
+    });
+
+TEST(Hybrid, RegionCountGrowsWithBlocks) {
+  // "For each block, this causes thread creation at the beginning of the
+  // loop and synchronisation at the end.  Hence this overhead will grow
+  // linearly with B."
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 600);
+  std::map<int, std::uint64_t> regions;
+  for (int bpp : {1, 4}) {
+    const auto layout = DecompLayout<2>::make(2, bpp);
+    mp::run(2, [&](mp::Comm& comm) {
+      typename MpSim<2>::Options opts;
+      opts.nthreads = 2;
+      MpSim<2> sim(cfg, layout, comm,
+                   ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
+      const auto before = sim.counters().parallel_regions;
+      sim.run(4);
+      if (comm.rank() == 0) {
+        regions[bpp] = sim.counters().parallel_regions - before;
+      }
+    });
+  }
+  // 2 regions per block per iteration: 4x the blocks -> 4x the regions.
+  EXPECT_EQ(regions[4], 4 * regions[1]);
+}
+
+TEST(Hybrid, LockFractionGrowsWithGranularity) {
+  // "We see a steep increase with B in the total number of atomic locks
+  // required during the force calculation" — smaller blocks mean more
+  // inter-thread conflicts.
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.seed = 77;
+  const auto init = uniform_random_particles(cfg, 2000);
+  std::map<int, double> lock_fraction;
+  for (int bpp : {1, 9}) {
+    const auto layout = DecompLayout<2>::make(2, bpp);
+    mp::run(2, [&](mp::Comm& comm) {
+      typename MpSim<2>::Options opts;
+      opts.nthreads = 4;
+      opts.reduction = ReductionKind::kSelectedAtomic;
+      MpSim<2> sim(cfg, layout, comm,
+                   ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
+      sim.run(4);
+      const auto c = sim.counters();
+      const auto atom = comm.allreduce(
+          static_cast<long long>(c.atomic_updates), mp::Op::kSum);
+      const auto plain = comm.allreduce(
+          static_cast<long long>(c.plain_updates), mp::Op::kSum);
+      if (comm.rank() == 0) {
+        lock_fraction[bpp] =
+            static_cast<double>(atom) / static_cast<double>(atom + plain);
+      }
+    });
+  }
+  EXPECT_GT(lock_fraction[9], lock_fraction[1]);
+}
+
+TEST(Hybrid, SingleThreadOptionsIsPureMp) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 200);
+  const auto layout = DecompLayout<2>::make(2, 2);
+  mp::run(2, [&](mp::Comm& comm) {
+    MpSim<2> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    EXPECT_FALSE(sim.hybrid());
+    sim.run(3);
+    EXPECT_EQ(sim.counters().parallel_regions, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace hdem

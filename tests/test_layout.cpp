@@ -1,0 +1,130 @@
+#include "decomp/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hdem {
+namespace {
+
+TEST(Layout, MakeBalancedGrid) {
+  const auto l = DecompLayout<2>::make(4, 4);
+  EXPECT_EQ(l.nprocs(), 4);
+  EXPECT_EQ(l.nblocks(), 16);
+  EXPECT_EQ(l.blocks_per_proc(), 4);
+}
+
+TEST(Layout, Make3D) {
+  const auto l = DecompLayout<3>::make(8, 8);
+  EXPECT_EQ(l.nprocs(), 8);
+  EXPECT_EQ(l.nblocks(), 64);
+  EXPECT_EQ(l.proc_dims(), (std::array<int, 3>{2, 2, 2}));
+}
+
+TEST(Layout, RejectsNonMultipleBlockGrid) {
+  EXPECT_THROW(DecompLayout<2>({2, 2}, {3, 2}), std::invalid_argument);
+  EXPECT_NO_THROW(DecompLayout<2>({2, 2}, {4, 2}));
+}
+
+TEST(Layout, BlockIndexRoundTrip) {
+  DecompLayout<3> l({2, 1, 1}, {4, 2, 2});
+  for (int b = 0; b < l.nblocks(); ++b) {
+    EXPECT_EQ(l.block_index(l.block_coords(b)), b);
+  }
+}
+
+TEST(Layout, CyclicOwnershipPattern) {
+  DecompLayout<1> l({2}, {6});
+  EXPECT_EQ(l.owner_rank({0}), 0);
+  EXPECT_EQ(l.owner_rank({1}), 1);
+  EXPECT_EQ(l.owner_rank({2}), 0);
+  EXPECT_EQ(l.owner_rank({5}), 1);
+}
+
+TEST(Layout, EveryBlockOwnedExactlyOnce) {
+  const auto l = DecompLayout<2>::make(6, 4);
+  std::set<int> seen;
+  for (int r = 0; r < l.nprocs(); ++r) {
+    for (const auto& c : l.blocks_of_rank(r)) {
+      EXPECT_TRUE(seen.insert(l.block_index(c)).second);
+      EXPECT_EQ(l.owner_rank(c), r);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), l.nblocks());
+}
+
+TEST(Layout, EqualBlocksPerRank) {
+  const auto l = DecompLayout<3>::make(4, 8);
+  for (int r = 0; r < l.nprocs(); ++r) {
+    EXPECT_EQ(static_cast<int>(l.blocks_of_rank(r).size()),
+              l.blocks_per_proc());
+  }
+}
+
+TEST(Layout, NeighborBlockPeriodicWrap) {
+  DecompLayout<2> l({2, 2}, {4, 4});
+  EXPECT_EQ(l.neighbor_block({0, 0}, 0, 0, true),
+            l.block_index({3, 0}));
+  EXPECT_EQ(l.neighbor_block({3, 0}, 0, 1, true), l.block_index({0, 0}));
+  EXPECT_EQ(l.neighbor_block({1, 1}, 1, 1, true), l.block_index({1, 2}));
+}
+
+TEST(Layout, NeighborBlockWallsEdge) {
+  DecompLayout<2> l({2, 2}, {4, 4});
+  EXPECT_EQ(l.neighbor_block({0, 0}, 0, 0, false), -1);
+  EXPECT_EQ(l.neighbor_block({3, 3}, 1, 1, false), -1);
+  EXPECT_GE(l.neighbor_block({1, 1}, 0, 0, false), 0);
+}
+
+TEST(Layout, GeometryTilesBox) {
+  DecompLayout<2> l({2, 2}, {4, 2});
+  const Vec<2> box(8.0, 4.0);
+  const Vec<2> w = l.block_width(box);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+  EXPECT_EQ(l.block_lo({2, 1}, box), (Vec<2>(4.0, 2.0)));
+}
+
+TEST(Layout, BlockOfPositionConsistentWithGeometry) {
+  DecompLayout<2> l({2, 2}, {4, 4});
+  const Vec<2> box(2.0, 2.0);
+  for (double x : {0.01, 0.49, 0.51, 1.99}) {
+    for (double y : {0.01, 1.49}) {
+      const auto c = l.block_of_position(Vec<2>(x, y), box);
+      const Vec<2> lo = l.block_lo(c, box);
+      const Vec<2> w = l.block_width(box);
+      EXPECT_GE(x, lo[0]);
+      EXPECT_LT(x, lo[0] + w[0]);
+      EXPECT_GE(y, lo[1]);
+      EXPECT_LT(y, lo[1] + w[1]);
+    }
+  }
+}
+
+TEST(Layout, BlockOfPositionClampsOutside) {
+  DecompLayout<1> l({1}, {4});
+  const Vec<1> box(4.0);
+  EXPECT_EQ(l.block_of_position(Vec<1>(-0.5), box)[0], 0);
+  EXPECT_EQ(l.block_of_position(Vec<1>(99.0), box)[0], 3);
+}
+
+TEST(Layout, ValidateRejectsNarrowBlocks) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.diameter = 0.05;
+  cfg.cutoff_factor = 2.0;  // rc = 0.1
+  DecompLayout<2> coarse({1, 1}, {4, 4});  // width 0.25 ok
+  EXPECT_NO_THROW(coarse.validate(cfg));
+  DecompLayout<2> fine({1, 1}, {16, 16});  // width 0.0625 < rc
+  EXPECT_THROW(fine.validate(cfg), std::invalid_argument);
+}
+
+TEST(Layout, GranularityFactorisation) {
+  // B/P = 8 in 2-D should split into per-dim multipliers 4 x 2.
+  const auto l = DecompLayout<2>::make(4, 8);
+  EXPECT_EQ(l.nblocks(), 32);
+  EXPECT_EQ(l.blocks_per_proc(), 8);
+}
+
+}  // namespace
+}  // namespace hdem

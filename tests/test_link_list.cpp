@@ -1,0 +1,188 @@
+// Property tests: the cell-based link list must contain exactly the pairs
+// closer than rc, each exactly once, against an O(N^2) brute force.
+#include "core/link_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/boundary.hpp"
+#include "core/cell_grid.hpp"
+#include "util/rng.hpp"
+
+namespace hdem {
+namespace {
+
+using PairSet = std::set<std::pair<std::int32_t, std::int32_t>>;
+
+template <int D>
+PairSet brute_force_pairs(const std::vector<Vec<D>>& pos,
+                          const Boundary<D>& bc, double rc) {
+  PairSet out;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (norm2(bc.displacement(pos[i], pos[j])) < rc * rc) {
+        out.insert({static_cast<std::int32_t>(i), static_cast<std::int32_t>(j)});
+      }
+    }
+  }
+  return out;
+}
+
+template <int D>
+PairSet cell_list_pairs(const std::vector<Vec<D>>& pos, const Boundary<D>& bc,
+                        double rc, Counters* counters = nullptr) {
+  CellGrid<D> grid;
+  std::array<bool, D> wrap{};
+  wrap.fill(bc.periodic());
+  grid.configure(Vec<D>{}, bc.box(), rc, wrap);
+  grid.bin(pos, pos.size());
+  LinkList list;
+  auto disp = [&](const Vec<D>& a, const Vec<D>& b) {
+    return bc.displacement(a, b);
+  };
+  build_links(list, grid, std::span<const Vec<D>>(pos), pos.size(), rc, disp,
+              counters);
+  PairSet out;
+  for (const Link& l : list.links) {
+    const auto lo = std::min(l.i, l.j);
+    const auto hi = std::max(l.i, l.j);
+    EXPECT_TRUE(out.insert({lo, hi}).second) << "duplicate link " << lo << "," << hi;
+  }
+  EXPECT_EQ(list.n_core, list.links.size()) << "serial lists are all core";
+  return out;
+}
+
+struct Param {
+  int seed;
+  int n;
+  double rc;
+  BoundaryKind bc;
+};
+
+class LinkList2D : public ::testing::TestWithParam<Param> {};
+class LinkList3D : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LinkList2D, MatchesBruteForce) {
+  const Param p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.seed));
+  const Vec<2> box(1.0, 1.0);
+  std::vector<Vec<2>> pos(static_cast<std::size_t>(p.n));
+  for (auto& x : pos) x = Vec<2>(rng.uniform(), rng.uniform());
+  Boundary<2> bc(p.bc, box);
+  EXPECT_EQ(cell_list_pairs(pos, bc, p.rc), brute_force_pairs(pos, bc, p.rc));
+}
+
+TEST_P(LinkList3D, MatchesBruteForce) {
+  const Param p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.seed));
+  const Vec<3> box(1.0);
+  std::vector<Vec<3>> pos(static_cast<std::size_t>(p.n));
+  for (auto& x : pos) x = Vec<3>(rng.uniform(), rng.uniform(), rng.uniform());
+  Boundary<3> bc(p.bc, box);
+  EXPECT_EQ(cell_list_pairs(pos, bc, p.rc), brute_force_pairs(pos, bc, p.rc));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkList2D,
+    ::testing::Values(Param{1, 100, 0.1, BoundaryKind::kPeriodic},
+                      Param{2, 100, 0.1, BoundaryKind::kWalls},
+                      Param{3, 300, 0.15, BoundaryKind::kPeriodic},
+                      Param{4, 300, 0.15, BoundaryKind::kWalls},
+                      Param{5, 50, 0.3, BoundaryKind::kPeriodic},
+                      Param{6, 50, 0.3, BoundaryKind::kWalls},
+                      Param{7, 500, 0.07, BoundaryKind::kPeriodic},
+                      Param{8, 2, 0.3, BoundaryKind::kPeriodic},
+                      Param{9, 1, 0.2, BoundaryKind::kWalls}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkList3D,
+    ::testing::Values(Param{11, 100, 0.2, BoundaryKind::kPeriodic},
+                      Param{12, 100, 0.2, BoundaryKind::kWalls},
+                      Param{13, 300, 0.15, BoundaryKind::kPeriodic},
+                      Param{14, 300, 0.15, BoundaryKind::kWalls},
+                      Param{15, 40, 0.3, BoundaryKind::kPeriodic},
+                      Param{16, 500, 0.12, BoundaryKind::kWalls}));
+
+TEST(LinkList, CountersRecordSizes) {
+  Rng rng(99);
+  std::vector<Vec<2>> pos(200);
+  for (auto& x : pos) x = Vec<2>(rng.uniform(), rng.uniform());
+  Boundary<2> bc(BoundaryKind::kPeriodic, Vec<2>(1.0, 1.0));
+  Counters c;
+  const auto pairs = cell_list_pairs(pos, bc, 0.12, &c);
+  EXPECT_EQ(c.links_core, pairs.size());
+  EXPECT_EQ(c.links_halo, 0u);
+  EXPECT_EQ(c.link_gap_count, pairs.size());
+}
+
+TEST(LinkList, HaloOrientationAndFiltering) {
+  // Manually mark some particles as halo (index >= ncore): halo-halo pairs
+  // must disappear and core-halo links must put the core particle first.
+  std::vector<Vec<1>> pos = {Vec<1>(0.05), Vec<1>(0.12), Vec<1>(0.18),
+                             Vec<1>(0.25)};
+  CellGrid<1> grid;
+  grid.configure(Vec<1>(0.0), Vec<1>(0.4), 0.1, {false});
+  grid.bin(pos, pos.size());
+  LinkList list;
+  auto disp = [](const Vec<1>& a, const Vec<1>& b) { return a - b; };
+  const std::size_t ncore = 2;  // particles 2 and 3 are halo copies
+  build_links(list, grid, std::span<const Vec<1>>(pos), ncore, 0.1, disp);
+  // In-range pairs: (0,1) core-core, (1,2) core-halo, (2,3) halo-halo.
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.n_core, 1u);
+  EXPECT_EQ(list.links[0].i, 0);
+  EXPECT_EQ(list.links[0].j, 1);
+  EXPECT_EQ(list.links[1].i, 1);  // core end first
+  EXPECT_EQ(list.links[1].j, 2);
+}
+
+TEST(LinkList, RangeBuildConcatenatesToFullBuild) {
+  Rng rng(5);
+  std::vector<Vec<2>> pos(300);
+  for (auto& x : pos) x = Vec<2>(rng.uniform(), rng.uniform());
+  CellGrid<2> grid;
+  grid.configure(Vec<2>(0.0, 0.0), Vec<2>(1.0, 1.0), 0.1, {false, false});
+  grid.bin(pos, pos.size());
+  auto disp = [](const Vec<2>& a, const Vec<2>& b) { return a - b; };
+
+  LinkList whole;
+  build_links(whole, grid, std::span<const Vec<2>>(pos), pos.size(), 0.1, disp);
+
+  std::vector<Link> part1, part2, halo;
+  const std::int32_t mid = grid.ncells() / 2;
+  build_links_range(grid, std::span<const Vec<2>>(pos), pos.size(), 0.1, disp,
+                    0, mid, part1, halo);
+  build_links_range(grid, std::span<const Vec<2>>(pos), pos.size(), 0.1, disp,
+                    mid, grid.ncells(), part2, halo);
+  EXPECT_TRUE(halo.empty());
+  EXPECT_EQ(part1.size() + part2.size(), whole.size());
+
+  auto key = [](const Link& l) {
+    return std::make_pair(std::min(l.i, l.j), std::max(l.i, l.j));
+  };
+  PairSet a, b;
+  for (const auto& l : whole.links) a.insert(key(l));
+  for (const auto& l : part1) b.insert(key(l));
+  for (const auto& l : part2) b.insert(key(l));
+  EXPECT_EQ(a, b);
+}
+
+TEST(LinkList, EmptySystem) {
+  std::vector<Vec<2>> pos;
+  Boundary<2> bc(BoundaryKind::kWalls, Vec<2>(1.0, 1.0));
+  EXPECT_TRUE(cell_list_pairs(pos, bc, 0.1).empty());
+}
+
+TEST(LinkList, ExactCutoffExcluded) {
+  // Distance exactly rc must not create a link (strict <).
+  std::vector<Vec<1>> pos = {Vec<1>(0.35), Vec<1>(0.45)};
+  Boundary<1> bc(BoundaryKind::kWalls, Vec<1>(1.0));
+  EXPECT_TRUE(cell_list_pairs(pos, bc, 0.1).empty());
+  EXPECT_EQ(cell_list_pairs(pos, bc, 0.1000001).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hdem

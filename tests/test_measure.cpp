@@ -1,0 +1,167 @@
+#include "perf/measure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdem::perf {
+namespace {
+
+TEST(Measure, SerialRunPopulatesCounters) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 5000;
+  s.iterations = 3;
+  const auto m = measure_run(s);
+  EXPECT_EQ(m.run.iterations, 3u);
+  EXPECT_EQ(m.run.nprocs, 1);
+  EXPECT_EQ(m.run.agg.position_updates, 3u * 5000u);
+  EXPECT_GT(m.run.agg.force_evals, 0u);
+  EXPECT_GT(m.host_seconds, 0.0);
+  EXPECT_GT(m.host_seconds_per_iter(), 0.0);
+  EXPECT_TRUE(m.run.bytes_matrix.empty());
+}
+
+TEST(Measure, SteadyWindowExcludesRebuilds) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 5000;
+  s.iterations = 4;
+  const auto m = measure_run(s);
+  // The measured window must contain no link-list rebuild (paper excludes
+  // link generation from t); the constructor's rebuild happens before the
+  // steady-state snapshot and is subtracted out.
+  EXPECT_EQ(m.run.agg.rebuilds, 0u);
+}
+
+TEST(Measure, SmpModeCountsRegions) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 4000;
+  s.mode = MeasureSpec::Mode::kSmp;
+  s.nthreads = 3;
+  s.iterations = 3;
+  const auto m = measure_run(s);
+  EXPECT_EQ(m.run.nthreads, 3);
+  EXPECT_EQ(m.run.agg.parallel_regions, 2u * 3u);
+  EXPECT_GT(m.run.agg.plain_updates + m.run.agg.atomic_updates, 0u);
+}
+
+TEST(Measure, MpModeFillsTrafficMatrix) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 4000;
+  s.mode = MeasureSpec::Mode::kMp;
+  s.nprocs = 4;
+  s.blocks_per_proc = 1;
+  s.iterations = 3;
+  const auto m = measure_run(s);
+  EXPECT_EQ(m.run.nprocs, 4);
+  EXPECT_EQ(m.run.nthreads, 1);
+  EXPECT_EQ(m.run.nblocks, 4);
+  ASSERT_EQ(m.run.bytes_matrix.size(), 16u);
+  std::uint64_t total = 0;
+  for (auto b : m.run.bytes_matrix) total += b;
+  EXPECT_GT(total, 0u) << "halo swaps must move bytes";
+  EXPECT_EQ(m.run.agg.particles, 4000u);
+}
+
+TEST(Measure, HybridModeUsesThreads) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 4000;
+  s.mode = MeasureSpec::Mode::kHybrid;
+  s.nprocs = 2;
+  s.nthreads = 2;
+  s.blocks_per_proc = 2;
+  s.iterations = 2;
+  const auto m = measure_run(s);
+  EXPECT_EQ(m.run.nthreads, 2);
+  // 2 regions per block per iteration x 2 blocks x 2 iterations x 2 ranks.
+  EXPECT_EQ(m.run.agg.parallel_regions, 16u);
+}
+
+TEST(Measure, FusedHybridMeasurement) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 4000;
+  s.mode = MeasureSpec::Mode::kHybrid;
+  s.nprocs = 2;
+  s.nthreads = 2;
+  s.blocks_per_proc = 4;
+  s.fused = true;
+  s.iterations = 2;
+  const auto m = measure_run(s);
+  // Fused: exactly 2 parallel regions per rank per iteration.
+  EXPECT_EQ(m.run.agg.parallel_regions, 2u * 2u * 2u);
+}
+
+TEST(Measure, LinkCountScalesWithCutoff) {
+  MeasureSpec a;
+  a.D = 3;
+  a.n = 8000;
+  a.iterations = 2;
+  a.rc_factor = 1.5;
+  MeasureSpec b = a;
+  b.rc_factor = 2.0;
+  const auto ma = measure_run(a);
+  const auto mb = measure_run(b);
+  const double ratio = static_cast<double>(mb.run.agg.force_evals) /
+                       static_cast<double>(ma.run.agg.force_evals);
+  // Links scale as rc^3: (2/1.5)^3 ~ 2.37.
+  EXPECT_NEAR(ratio, 2.37, 0.35);
+}
+
+TEST(Measure, ReorderLowersLocalityMetric) {
+  MeasureSpec a;
+  a.D = 2;
+  a.n = 10000;
+  a.iterations = 2;
+  a.reorder = false;
+  MeasureSpec b = a;
+  b.reorder = true;
+  const auto ma = measure_run(a);
+  const auto mb = measure_run(b);
+  EXPECT_LT(mb.run.agg.mean_link_gap(), 0.1 * ma.run.agg.mean_link_gap());
+}
+
+TEST(Measure, PerRankCountersFilledForMpRuns) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 4000;
+  s.mode = MeasureSpec::Mode::kMp;
+  s.nprocs = 4;
+  s.iterations = 2;
+  const auto m = measure_run(s);
+  ASSERT_EQ(m.run.per_rank.size(), 4u);
+  std::uint64_t evals = 0;
+  for (const auto& c : m.run.per_rank) evals += c.force_evals;
+  EXPECT_EQ(evals, m.run.agg.force_evals);
+}
+
+TEST(Measure, ClusteredWorkloadIsImbalanced) {
+  MeasureSpec s;
+  s.D = 2;
+  s.n = 6000;
+  s.mode = MeasureSpec::Mode::kMp;
+  s.nprocs = 4;
+  s.blocks_per_proc = 1;
+  s.cluster_fraction = 0.5;
+  s.iterations = 2;
+  const auto m = measure_run(s);
+  std::uint64_t max_evals = 0, total = 0;
+  for (const auto& c : m.run.per_rank) {
+    max_evals = std::max(max_evals, c.force_evals);
+    total += c.force_evals;
+  }
+  const double ratio =
+      static_cast<double>(max_evals) / (static_cast<double>(total) / 4.0);
+  EXPECT_GT(ratio, 1.5) << "bottom-half cluster must overload the bottom row";
+}
+
+TEST(Measure, RejectsBadDimension) {
+  MeasureSpec s;
+  s.D = 4;
+  EXPECT_THROW(measure_run(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdem::perf

@@ -1,0 +1,47 @@
+#include "perf/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdem::perf {
+namespace {
+
+TEST(Microbench, OverheadsArePositive) {
+  const auto o = measure_sync_overheads(2, 200);
+  EXPECT_EQ(o.threads, 2);
+  EXPECT_GT(o.fork_join, 0.0);
+  EXPECT_GT(o.parallel_for, 0.0);
+  EXPECT_GT(o.barrier, 0.0);
+  EXPECT_GT(o.critical, 0.0);
+  EXPECT_GT(o.atomic_add, 0.0);
+}
+
+TEST(Microbench, SingleThreadCheap) {
+  // A one-thread team runs regions inline; fork/join must be far below a
+  // multi-thread team's cost.
+  const auto solo = measure_sync_overheads(1, 500);
+  const auto quad = measure_sync_overheads(4, 200);
+  EXPECT_LT(solo.fork_join, quad.fork_join);
+}
+
+TEST(Microbench, PerBlockCostFormula) {
+  SyncOverheads o;
+  o.fork_join = 10e-6;
+  o.barrier = 2e-6;
+  EXPECT_DOUBLE_EQ(per_block_sync_cost(o, 2.0, 1.0), 22e-6);
+}
+
+TEST(Microbench, FormatMentionsUnits) {
+  const auto o = measure_sync_overheads(1, 50);
+  const std::string s = format(o);
+  EXPECT_NE(s.find("fork_join"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(Microbench, AtomicCheaperThanCritical) {
+  // A CAS-loop accumulate should beat a mutex-protected section.
+  const auto o = measure_sync_overheads(4, 500);
+  EXPECT_LT(o.atomic_add, o.critical * 5.0);
+}
+
+}  // namespace
+}  // namespace hdem::perf

@@ -1,0 +1,204 @@
+#include "decomp/migrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/init.hpp"
+#include "mp/comm.hpp"
+
+namespace hdem {
+namespace {
+
+template <int D>
+std::vector<BlockDomain<D>> empty_blocks(const DecompLayout<D>& layout,
+                                         const SimConfig<D>& cfg, int rank) {
+  std::vector<BlockDomain<D>> blocks;
+  for (const auto& coords : layout.blocks_of_rank(rank)) {
+    BlockDomain<D> b;
+    b.coords = coords;
+    b.index = layout.block_index(coords);
+    b.lo = layout.block_lo(coords, cfg.box);
+    b.hi = b.lo + layout.block_width(cfg.box);
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+TEST(Migrate, ParticlesLandInContainingBlock) {
+  constexpr int D = 2;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.seed = 5;
+  const auto layout = DecompLayout<D>::make(4, 4);
+  const auto init = uniform_random_particles(cfg, 500);
+
+  mp::run(4, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    // Deliberately misplace: rank 0 initially holds *all* particles in its
+    // first block; migration must redistribute them everywhere.
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        blocks[0].store.push_back(init[i].pos, init[i].vel,
+                                  static_cast<std::int32_t>(i));
+      }
+      blocks[0].ncore = blocks[0].store.size();
+    }
+    Boundary<D> bc(cfg.bc, cfg.box);
+    Counters c;
+    migrate_particles(blocks, layout, bc, comm, c);
+
+    std::size_t held = 0;
+    for (const auto& b : blocks) {
+      EXPECT_EQ(b.ncore, b.store.size());
+      held += b.ncore;
+      for (std::size_t i = 0; i < b.ncore; ++i) {
+        EXPECT_TRUE(b.contains(b.store.pos(i)))
+            << "particle " << b.store.id(i) << " outside its block";
+      }
+    }
+    const auto total =
+        static_cast<std::uint64_t>(comm.allreduce(static_cast<long long>(held),
+                                                  mp::Op::kSum));
+    EXPECT_EQ(total, init.size()) << "particles must be conserved";
+    if (comm.rank() == 0) {
+      EXPECT_GT(c.migrated_particles, 0u);
+    }
+  });
+}
+
+TEST(Migrate, WrapsPeriodicPositions) {
+  constexpr int D = 2;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  const auto layout = DecompLayout<D>::make(1, 4);
+  mp::run(1, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    // A particle that drifted past the periodic boundary.
+    blocks[0].store.push_back(Vec<D>(1.02, 0.3), Vec<D>{}, 0);
+    blocks[0].ncore = 1;
+    Boundary<D> bc(BoundaryKind::kPeriodic, cfg.box);
+    Counters c;
+    migrate_particles(blocks, layout, bc, comm, c);
+    // Wrapped to x = 0.02, which is in block (0, ...) again.
+    bool found = false;
+    for (const auto& b : blocks) {
+      for (std::size_t i = 0; i < b.ncore; ++i) {
+        if (b.store.id(i) == 0) {
+          found = true;
+          EXPECT_NEAR(b.store.pos(i)[0], 0.02, 1e-12);
+          EXPECT_TRUE(b.contains(b.store.pos(i)));
+        }
+      }
+    }
+    EXPECT_TRUE(found);
+  });
+}
+
+TEST(Migrate, PreservesIdentityAndVelocity) {
+  constexpr int D = 2;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  const auto layout = DecompLayout<D>::make(2, 2);
+  mp::run(2, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    if (comm.rank() == 0) {
+      blocks[0].store.push_back(Vec<D>(0.9, 0.9), Vec<D>(1.5, -2.5), 77);
+      blocks[0].ncore = 1;
+    }
+    Boundary<D> bc(cfg.bc, cfg.box);
+    Counters c;
+    migrate_particles(blocks, layout, bc, comm, c);
+    int found = 0;
+    for (const auto& b : blocks) {
+      for (std::size_t i = 0; i < b.ncore; ++i) {
+        if (b.store.id(i) == 77) {
+          ++found;
+          EXPECT_EQ(b.store.vel(i), (Vec<D>(1.5, -2.5)));
+          EXPECT_EQ(b.store.pos(i), (Vec<D>(0.9, 0.9)));
+        }
+      }
+    }
+    const int total = static_cast<int>(
+        comm.allreduce(static_cast<long long>(found), mp::Op::kSum));
+    EXPECT_EQ(total, 1);
+  });
+}
+
+TEST(Migrate, NoopWhenEverythingHome) {
+  constexpr int D = 2;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.seed = 9;
+  const auto layout = DecompLayout<D>::make(2, 2);
+  const auto init = uniform_random_particles(cfg, 200);
+  mp::run(2, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      const auto c = layout.block_of_position(init[i].pos, cfg.box);
+      if (layout.owner_rank(c) != comm.rank()) continue;
+      for (auto& b : blocks) {
+        if (b.index == layout.block_index(c)) {
+          b.store.push_back(init[i].pos, init[i].vel,
+                            static_cast<std::int32_t>(i));
+          b.ncore = b.store.size();
+        }
+      }
+    }
+    Boundary<D> bc(cfg.bc, cfg.box);
+    Counters c;
+    migrate_particles(blocks, layout, bc, comm, c);
+    EXPECT_EQ(c.migrated_particles, 0u);
+  });
+}
+
+TEST(Migrate, RefusesUntruncatedHalos) {
+  constexpr int D = 2;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  const auto layout = DecompLayout<D>::make(1, 4);
+  mp::run(1, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    blocks[0].store.push_back(Vec<D>(0.1, 0.1), Vec<D>{}, 0);
+    blocks[0].store.push_back(Vec<D>(0.2, 0.2), Vec<D>{}, 1);
+    blocks[0].ncore = 1;  // second particle is a (stale) halo copy
+    Boundary<D> bc(cfg.bc, cfg.box);
+    Counters c;
+    EXPECT_THROW(migrate_particles(blocks, layout, bc, comm, c),
+                 std::logic_error);
+  });
+}
+
+TEST(Migrate, ParticleCrossingMultipleBlocks) {
+  constexpr int D = 1;
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  const auto layout = DecompLayout<D>::make(2, 4);  // 8 blocks of width 1/8
+  mp::run(2, [&](mp::Comm& comm) {
+    auto blocks = empty_blocks(layout, cfg, comm.rank());
+    if (comm.rank() == 0) {
+      // Sits in block 0 but has teleported to the far end of the box.
+      blocks[0].store.push_back(Vec<D>(0.93), Vec<D>{}, 1);
+      blocks[0].ncore = 1;
+    }
+    Boundary<D> bc(cfg.bc, cfg.box);
+    Counters c;
+    migrate_particles(blocks, layout, bc, comm, c);
+    int found = 0;
+    for (const auto& b : blocks) {
+      for (std::size_t i = 0; i < b.ncore; ++i) {
+        if (b.store.id(i) == 1) {
+          ++found;
+          EXPECT_EQ(b.coords[0], 7);
+        }
+      }
+    }
+    const int total = static_cast<int>(
+        comm.allreduce(static_cast<long long>(found), mp::Op::kSum));
+    EXPECT_EQ(total, 1);
+  });
+}
+
+}  // namespace
+}  // namespace hdem

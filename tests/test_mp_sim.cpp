@@ -1,0 +1,197 @@
+// The message-passing driver must reproduce the serial trajectory for any
+// process count and granularity, across rebuilds and migrations.
+#include "driver/mp_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/serial_sim.hpp"
+
+namespace hdem {
+namespace {
+
+template <int D>
+struct Reference {
+  std::map<int, Vec<D>> pos;
+  double energy = 0.0;
+};
+
+template <int D>
+Reference<D> serial_reference(const SimConfig<D>& cfg, std::uint64_t n,
+                              int steps) {
+  auto sim = SerialSim<D>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, n);
+  sim.run(steps);
+  Reference<D> ref;
+  for (std::size_t i = 0; i < sim.store().size(); ++i) {
+    Vec<D> p = sim.store().pos(i);
+    sim.boundary().wrap(p);
+    ref.pos[sim.store().id(i)] = p;
+  }
+  ref.energy = sim.total_energy();
+  return ref;
+}
+
+struct Case {
+  int nprocs;
+  int blocks_per_proc;
+  BoundaryKind bc;
+};
+
+class MpEquivalence2D : public ::testing::TestWithParam<Case> {};
+class MpEquivalence3D : public ::testing::TestWithParam<Case> {};
+
+template <int D>
+void run_equivalence(const Case& p, std::uint64_t n, int steps,
+                     std::uint64_t seed) {
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.bc = p.bc;
+  cfg.seed = seed;
+  cfg.velocity_scale = 0.8;  // rebuilds + migrations inside the window
+  const auto ref = serial_reference<D>(cfg, n, steps);
+  const auto init = uniform_random_particles(cfg, n);
+  const auto layout = DecompLayout<D>::make(p.nprocs, p.blocks_per_proc);
+
+  mp::run(p.nprocs, [&](mp::Comm& comm) {
+    MpSim<D> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    sim.run(static_cast<std::uint64_t>(steps));
+    const double energy = sim.global_energy();
+    auto state = sim.gather_state();
+    if (comm.rank() != 0) return;
+    EXPECT_EQ(state.size(), n);
+    EXPECT_NEAR(energy, ref.energy, 1e-9 * std::abs(ref.energy));
+    EXPECT_GT(sim.counters().rebuilds, 1u);
+    Boundary<D> bc(cfg.bc, cfg.box);
+    double max_err = 0.0;
+    for (auto& r : state) {
+      Vec<D> q = r.pos;
+      bc.wrap(q);
+      max_err = std::max(max_err, norm(bc.displacement(q, ref.pos.at(r.id))));
+    }
+    EXPECT_LT(max_err, 1e-9);
+  });
+}
+
+TEST_P(MpEquivalence2D, TrajectoryMatchesSerial) {
+  run_equivalence<2>(GetParam(), 500, 120, 31);
+}
+
+TEST_P(MpEquivalence3D, TrajectoryMatchesSerial) {
+  run_equivalence<3>(GetParam(), 700, 100, 37);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpEquivalence2D,
+    ::testing::Values(Case{1, 1, BoundaryKind::kPeriodic},
+                      Case{2, 1, BoundaryKind::kPeriodic},
+                      Case{4, 1, BoundaryKind::kPeriodic},
+                      Case{4, 4, BoundaryKind::kPeriodic},
+                      Case{4, 9, BoundaryKind::kPeriodic},
+                      Case{4, 4, BoundaryKind::kWalls},
+                      Case{6, 2, BoundaryKind::kWalls},
+                      Case{9, 1, BoundaryKind::kPeriodic}),
+    [](const auto& info) {
+      return "P" + std::to_string(info.param.nprocs) + "_B" +
+             std::to_string(info.param.blocks_per_proc) + "_" +
+             (info.param.bc == BoundaryKind::kPeriodic ? "periodic" : "walls");
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpEquivalence3D,
+    ::testing::Values(Case{2, 4, BoundaryKind::kPeriodic},
+                      Case{4, 2, BoundaryKind::kPeriodic},
+                      Case{4, 2, BoundaryKind::kWalls},
+                      Case{8, 1, BoundaryKind::kPeriodic}),
+    [](const auto& info) {
+      return "P" + std::to_string(info.param.nprocs) + "_B" +
+             std::to_string(info.param.blocks_per_proc) + "_" +
+             (info.param.bc == BoundaryKind::kPeriodic ? "periodic" : "walls");
+    });
+
+TEST(MpSim, HaloLinkAccountingSymmetric) {
+  // Every cross-block pair appears exactly twice globally (once per side),
+  // so: global core links + halo links / 2 == serial link count.
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.seed = 41;
+  const std::uint64_t n = 600;
+  const auto init = uniform_random_particles(cfg, n);
+  auto serial = SerialSim<2>(cfg, ElasticSphere{cfg.stiffness, cfg.diameter},
+                             init);
+  const std::uint64_t serial_links = serial.links().size();
+
+  const auto layout = DecompLayout<2>::make(4, 4);
+  mp::run(4, [&](mp::Comm& comm) {
+    MpSim<2> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    const auto c = sim.counters();
+    const auto core = static_cast<long long>(c.links_core);
+    const auto halo = static_cast<long long>(c.links_halo);
+    const auto g_core = comm.allreduce(core, mp::Op::kSum);
+    const auto g_halo = comm.allreduce(halo, mp::Op::kSum);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(g_halo % 2, 0);
+      EXPECT_EQ(static_cast<std::uint64_t>(g_core + g_halo / 2), serial_links);
+    }
+  });
+}
+
+TEST(MpSim, RejectsMismatchedCommSize) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 100);
+  const auto layout = DecompLayout<2>::make(4, 1);
+  mp::run(2, [&](mp::Comm& comm) {
+    EXPECT_THROW(MpSim<2>(cfg, layout, comm,
+                          ElasticSphere{cfg.stiffness, cfg.diameter}, init),
+                 std::invalid_argument);
+  });
+}
+
+TEST(MpSim, FinerGranularityMoreMessages) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 600);
+  std::uint64_t msgs_coarse = 0, msgs_fine = 0;
+  for (int bpp : {1, 4}) {
+    const auto layout = DecompLayout<2>::make(4, bpp);
+    std::uint64_t total = 0;
+    mp::run(4, [&](mp::Comm& comm) {
+      MpSim<2> sim(cfg, layout, comm,
+                   ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+      const auto before = sim.counters().msgs_sent;
+      sim.run(5);
+      const auto sent = sim.counters().msgs_sent - before;
+      const auto sum = comm.allreduce(static_cast<long long>(sent), mp::Op::kSum);
+      if (comm.rank() == 0) total = static_cast<std::uint64_t>(sum);
+    });
+    (bpp == 1 ? msgs_coarse : msgs_fine) = total;
+  }
+  EXPECT_GT(msgs_fine, msgs_coarse)
+      << "block-cyclic overhead must grow with granularity";
+}
+
+TEST(MpSim, CountersBlocksAndParticles) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 400);
+  const auto layout = DecompLayout<2>::make(2, 8);
+  mp::run(2, [&](mp::Comm& comm) {
+    MpSim<2> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    const auto c = sim.counters();
+    EXPECT_EQ(c.blocks, 8u);
+    const auto total = comm.allreduce(
+        static_cast<long long>(c.particles), mp::Op::kSum);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(static_cast<std::uint64_t>(total), 400u);
+    }
+    EXPECT_GT(c.halo_particles, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace hdem

@@ -1,0 +1,226 @@
+// The five force-accumulation strategies must produce forces identical to
+// the serial reference, and the selected-atomic conflict table must agree
+// with a brute-force thread-overlap oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <cmath>
+#include <set>
+
+#include "core/boundary.hpp"
+#include "core/cell_grid.hpp"
+#include "core/dynamics.hpp"
+#include "core/force_model.hpp"
+#include "core/init.hpp"
+#include "reduction/force_pass.hpp"
+
+namespace hdem {
+namespace {
+
+struct Fixture {
+  static constexpr int D = 2;
+  SimConfig<D> cfg;
+  Boundary<D> bc;
+  ParticleStore<D> store;
+  CellGrid<D> grid;
+  LinkList list;
+
+  explicit Fixture(std::uint64_t n = 600, std::uint64_t seed = 3,
+                   double box_edge = 1.0) {
+    cfg.box = Vec<D>(box_edge);
+    cfg.seed = seed;
+    bc = Boundary<D>(cfg.bc, cfg.box);
+    for (const auto& p : uniform_random_particles(cfg, n)) {
+      store.push_back(p.pos, p.vel);
+    }
+    std::array<bool, D> wrap{};
+    wrap.fill(true);
+    grid.configure(Vec<D>{}, cfg.box, cfg.cutoff(), wrap);
+    grid.bin(store.positions(), store.size());
+    auto disp = [&](const Vec<D>& a, const Vec<D>& b) {
+      return bc.displacement(a, b);
+    };
+    build_links(list, grid, store.cpositions(), store.size(), cfg.cutoff(),
+                disp);
+  }
+
+  ElasticSphere model() const { return {cfg.stiffness, cfg.diameter}; }
+
+  std::vector<Vec<D>> serial_forces(double* pe_out = nullptr) {
+    zero_forces(store);
+    auto disp = [&](const Vec<D>& a, const Vec<D>& b) {
+      return bc.displacement(a, b);
+    };
+    const double pe = accumulate_forces<D>(list.core(), store, model(), disp,
+                                           true, 1.0);
+    if (pe_out != nullptr) *pe_out = pe;
+    return {store.forces().begin(), store.forces().end()};
+  }
+};
+
+class ReductionEquivalence
+    : public ::testing::TestWithParam<std::tuple<ReductionKind, int>> {};
+
+TEST_P(ReductionEquivalence, ForcesMatchSerial) {
+  const auto [kind, threads] = GetParam();
+  Fixture f;
+  double pe_ref = 0.0;
+  const auto ref = f.serial_forces(&pe_ref);
+
+  smp::ThreadTeam team(threads);
+  auto acc = make_accumulator<Fixture::D>(kind);
+  prepare_accumulator<Fixture::D>(acc, team.size(), f.list, f.store.size());
+  auto disp = [&](const Vec<2>& a, const Vec<2>& b) {
+    return f.bc.displacement(a, b);
+  };
+  Counters c;
+  const double pe = dispatch_force_pass<Fixture::D>(acc, team, f.list,
+                                                    f.store, f.model(), disp,
+                                                    &c);
+  EXPECT_NEAR(pe, pe_ref, 1e-12 * std::abs(pe_ref) + 1e-15);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, norm(f.store.frc(i) - ref[i]));
+  }
+  EXPECT_LT(max_err, 1e-10);
+  EXPECT_EQ(c.force_evals, f.list.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesThreads, ReductionEquivalence,
+    ::testing::Combine(
+        ::testing::Values(ReductionKind::kAtomicAll,
+                          ReductionKind::kSelectedAtomic,
+                          ReductionKind::kCritical, ReductionKind::kStripe,
+                          ReductionKind::kTranspose),
+        ::testing::Values(1, 2, 3, 4, 8)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_T" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SelectedAtomic, ConflictTableMatchesOracle) {
+  Fixture f(400, 11);
+  const int t_count = 4;
+  SelectedAtomicAccumulator<2> acc;
+  acc.prepare(t_count, f.list.links, f.list.n_core, f.store.size());
+
+  // Oracle: the set of threads whose static link block touches particle p.
+  std::vector<std::set<int>> touching(f.store.size());
+  for (int t = 0; t < t_count; ++t) {
+    const auto r = smp::static_block(0, static_cast<std::int64_t>(f.list.n_core),
+                                     t, t_count);
+    for (std::int64_t l = r.lo; l < r.hi; ++l) {
+      touching[static_cast<std::size_t>(f.list.links[static_cast<std::size_t>(l)].i)].insert(t);
+      touching[static_cast<std::size_t>(f.list.links[static_cast<std::size_t>(l)].j)].insert(t);
+    }
+  }
+  for (std::size_t p = 0; p < f.store.size(); ++p) {
+    EXPECT_EQ(acc.is_shared(static_cast<std::int32_t>(p)),
+              touching[p].size() > 1)
+        << "particle " << p;
+  }
+}
+
+TEST(SelectedAtomic, FewConflictsForShortRangeForces) {
+  // "Since there are relatively few multiple updates due to the
+  // short-ranged nature of the DEM forces, most of the accumulations do
+  // not in fact require protection."  The shared set lives on the thread
+  // partition boundaries of the (cell-ordered) link list, so at fixed
+  // density its fraction shrinks as the system grows: the boundary is a
+  // surface, the bulk a volume.
+  auto shared_fraction = [](Fixture& f) {
+    SelectedAtomicAccumulator<2> acc;
+    acc.prepare(4, f.list.links, f.list.n_core, f.store.size());
+    std::size_t shared = 0;
+    for (std::size_t p = 0; p < f.store.size(); ++p) {
+      if (acc.is_shared(static_cast<std::int32_t>(p))) ++shared;
+    }
+    return static_cast<double>(shared) / static_cast<double>(f.store.size());
+  };
+  Fixture small(2000, 5, 1.0), big(32000, 5, 4.0);  // same number density
+  const double frac_small = shared_fraction(small);
+  const double frac_big = shared_fraction(big);
+  EXPECT_LT(frac_big, 0.5 * frac_small);
+  EXPECT_LT(frac_big, 0.15) << "most accumulations must be unprotected";
+}
+
+TEST(Reduction, AtomicCountsSplitByStrategy) {
+  Fixture f(500, 9);
+  smp::ThreadTeam team(4);
+  auto disp = [&](const Vec<2>& a, const Vec<2>& b) {
+    return f.bc.displacement(a, b);
+  };
+
+  Counters c_atomic;
+  auto a1 = make_accumulator<2>(ReductionKind::kAtomicAll);
+  prepare_accumulator<2>(a1, 4, f.list, f.store.size());
+  dispatch_force_pass<2>(a1, team, f.list, f.store, f.model(), disp, &c_atomic);
+
+  Counters c_sel;
+  auto a2 = make_accumulator<2>(ReductionKind::kSelectedAtomic);
+  prepare_accumulator<2>(a2, 4, f.list, f.store.size());
+  dispatch_force_pass<2>(a2, team, f.list, f.store, f.model(), disp, &c_sel);
+
+  Counters c_arr;
+  auto a3 = make_accumulator<2>(ReductionKind::kTranspose);
+  prepare_accumulator<2>(a3, 4, f.list, f.store.size());
+  dispatch_force_pass<2>(a3, team, f.list, f.store, f.model(), disp, &c_arr);
+
+  EXPECT_GT(c_atomic.atomic_updates, 0u);
+  EXPECT_EQ(c_atomic.plain_updates, 0u);
+  // Selected-atomic must lock strictly less than locking everything.
+  EXPECT_LT(c_sel.atomic_updates, c_atomic.atomic_updates);
+  EXPECT_EQ(c_sel.atomic_updates + c_sel.plain_updates,
+            c_atomic.atomic_updates);
+  // Array reduction uses no atomics and reports its memory traffic.
+  EXPECT_EQ(c_arr.atomic_updates, 0u);
+  EXPECT_GT(c_arr.reduction_bytes, 0u);
+}
+
+TEST(Reduction, NoLockSingleThreadMatchesSerial) {
+  // With one thread the unprotected strategy is actually race-free and
+  // must agree with the reference exactly.
+  Fixture f(300, 13);
+  const auto ref = f.serial_forces();
+  smp::ThreadTeam team(1);
+  auto acc = make_accumulator<2>(ReductionKind::kNoLock);
+  prepare_accumulator<2>(acc, 1, f.list, f.store.size());
+  auto disp = [&](const Vec<2>& a, const Vec<2>& b) {
+    return f.bc.displacement(a, b);
+  };
+  dispatch_force_pass<2>(acc, team, f.list, f.store, f.model(), disp);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_LT(norm(f.store.frc(i) - ref[i]), 1e-14);
+  }
+}
+
+TEST(Reduction, StrategyNames) {
+  EXPECT_STREQ(to_string(ReductionKind::kAtomicAll), "atomic");
+  EXPECT_STREQ(to_string(ReductionKind::kSelectedAtomic), "selected-atomic");
+  EXPECT_STREQ(to_string(ReductionKind::kCritical), "critical");
+  EXPECT_STREQ(to_string(ReductionKind::kStripe), "stripe");
+  EXPECT_STREQ(to_string(ReductionKind::kTranspose), "transpose");
+  EXPECT_STREQ(to_string(ReductionKind::kNoLock), "nolock");
+}
+
+TEST(Reduction, UpdatePositionsMatchesSerial) {
+  Fixture f(300, 17);
+  f.serial_forces();  // leaves forces in the store
+  ParticleStore<2> copy = f.store;
+  smp::ThreadTeam team(3);
+  const double maxv_par = smp_update_positions(team, f.store, f.store.size(),
+                                               1e-3, Vec<2>(0.0, -1.0), f.bc);
+  const double maxv_ser = kick_drift(copy, copy.size(), 1e-3,
+                                     Vec<2>(0.0, -1.0), f.bc);
+  EXPECT_DOUBLE_EQ(maxv_par, maxv_ser);
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(f.store.pos(i), copy.pos(i));
+    EXPECT_EQ(f.store.vel(i), copy.vel(i));
+  }
+}
+
+}  // namespace
+}  // namespace hdem

@@ -1,0 +1,173 @@
+// The threaded driver must reproduce the serial trajectory for every
+// reduction strategy and thread count, including across rebuilds.
+#include "driver/smp_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <map>
+
+#include "core/serial_sim.hpp"
+
+namespace hdem {
+namespace {
+
+template <int D>
+std::map<int, Vec<D>> positions_by_id(const ParticleStore<D>& store,
+                                      const Boundary<D>& bc) {
+  std::map<int, Vec<D>> out;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    Vec<D> p = store.pos(i);
+    bc.wrap(p);
+    out[store.id(i)] = p;
+  }
+  return out;
+}
+
+template <int D>
+double max_position_error(const std::map<int, Vec<D>>& a,
+                          const std::map<int, Vec<D>>& b,
+                          const Boundary<D>& bc) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_err = 0.0;
+  for (const auto& [id, pos] : a) {
+    const auto it = b.find(id);
+    if (it == b.end()) {
+      ADD_FAILURE() << "id " << id << " missing";
+      continue;
+    }
+    max_err = std::max(max_err, norm(bc.displacement(pos, it->second)));
+  }
+  return max_err;
+}
+
+struct Case {
+  ReductionKind kind;
+  int threads;
+  BoundaryKind bc;
+};
+
+class SmpEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SmpEquivalence, TrajectoryMatchesSerialAcrossRebuilds) {
+  const Case p = GetParam();
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.bc = p.bc;
+  cfg.seed = 23;
+  cfg.velocity_scale = 0.8;  // several rebuilds in 150 steps
+  const std::uint64_t n = 600;
+  const int steps = 150;
+
+  auto serial = SerialSim<2>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, n);
+  serial.run(steps);
+
+  const auto init = uniform_random_particles(cfg, n);
+  SmpSim<2> smp(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init,
+                p.threads, p.kind);
+  smp.run(steps);
+
+  EXPECT_GT(smp.counters().rebuilds, 1u);
+  Boundary<2> bc(cfg.bc, cfg.box);
+  const double err = max_position_error(
+      positions_by_id(serial.store(), bc), positions_by_id(smp.store(), bc), bc);
+  EXPECT_LT(err, 1e-9);
+  EXPECT_NEAR(smp.total_energy(), serial.total_energy(),
+              1e-9 * std::abs(serial.total_energy()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SmpEquivalence,
+    ::testing::Values(
+        Case{ReductionKind::kAtomicAll, 3, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kSelectedAtomic, 4, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kSelectedAtomic, 2, BoundaryKind::kWalls},
+        Case{ReductionKind::kCritical, 3, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kStripe, 4, BoundaryKind::kWalls},
+        Case{ReductionKind::kTranspose, 3, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kSelectedAtomic, 1, BoundaryKind::kPeriodic}),
+    [](const auto& info) {
+      std::string name = to_string(info.param.kind);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_T" + std::to_string(info.param.threads) + "_" +
+             (info.param.bc == BoundaryKind::kPeriodic ? "periodic" : "walls");
+    });
+
+TEST(SmpSim, TrajectoryMatchesSerial3D) {
+  SimConfig<3> cfg;
+  cfg.box = Vec<3>(1.0);
+  cfg.seed = 29;
+  cfg.velocity_scale = 0.8;
+  const std::uint64_t n = 800;
+  const int steps = 100;
+  auto serial = SerialSim<3>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, n);
+  serial.run(steps);
+  const auto init = uniform_random_particles(cfg, n);
+  SmpSim<3> smp(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 4,
+                ReductionKind::kSelectedAtomic);
+  smp.run(steps);
+  EXPECT_GT(smp.counters().rebuilds, 1u);
+  Boundary<3> bc(cfg.bc, cfg.box);
+  const double err = max_position_error(
+      positions_by_id(serial.store(), bc), positions_by_id(smp.store(), bc),
+      bc);
+  EXPECT_LT(err, 1e-9);
+}
+
+TEST(SmpSim, CountsRegionsPerIteration) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 300);
+  SmpSim<2> sim(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 4,
+                ReductionKind::kSelectedAtomic);
+  const auto before = sim.counters();
+  sim.run(10);
+  const auto after = sim.counters();
+  // Two parallel regions per iteration (force pass + position update).
+  EXPECT_EQ(after.parallel_regions - before.parallel_regions, 20u);
+  // One zeroing barrier per force pass.
+  EXPECT_EQ(after.barriers - before.barriers, 10u);
+}
+
+TEST(SmpSim, AtomicCountsZeroForSingleOwnerPartition) {
+  // With a single thread nothing is ever shared.
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 300);
+  SmpSim<2> sim(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 1,
+                ReductionKind::kSelectedAtomic);
+  sim.run(5);
+  EXPECT_EQ(sim.counters().atomic_updates, 0u);
+  EXPECT_GT(sim.counters().plain_updates, 0u);
+}
+
+TEST(SmpSim, EnergyConserved) {
+  SimConfig<3> cfg;
+  cfg.box = Vec<3>(1.0);
+  cfg.dt = 2e-4;
+  const auto init = uniform_random_particles(cfg, 400);
+  SmpSim<3> sim(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 3,
+                ReductionKind::kTranspose);
+  sim.step();
+  const double e0 = sim.total_energy();
+  sim.run(300);
+  EXPECT_NEAR(sim.total_energy(), e0, 0.02 * std::abs(e0) + 1e-9);
+}
+
+TEST(SmpSim, LinkCountMatchesSerial) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 500);
+  auto serial = SerialSim<2>(cfg, ElasticSphere{cfg.stiffness, cfg.diameter},
+                             init);
+  SmpSim<2> smp(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 4,
+                ReductionKind::kSelectedAtomic);
+  EXPECT_EQ(smp.links().size(), serial.links().size());
+  EXPECT_EQ(smp.counters().links_core, serial.counters().links_core);
+}
+
+}  // namespace
+}  // namespace hdem

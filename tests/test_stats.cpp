@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hdem {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Minimum, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(minimum({3.0, 1.5, 2.0}), 1.5);
+  EXPECT_DOUBLE_EQ(minimum({}), 0.0);
+}
+
+TEST(LeastSquares, ExactLineFit) {
+  // y = 2x + 1 on x = 0..4; columns are [x, 1].
+  std::vector<double> x, y;
+  for (int i = 0; i < 5; ++i) {
+    x.push_back(i);
+    x.push_back(1.0);
+    y.push_back(2.0 * i + 1.0);
+  }
+  const auto beta = least_squares(x, 5, 2, y);
+  EXPECT_NEAR(beta[0], 2.0, 1e-12);
+  EXPECT_NEAR(beta[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedNoisyFit) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  const std::size_t n = 200;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = rng.uniform(0.0, 10.0);
+    x.push_back(xi);
+    x.push_back(1.0);
+    y.push_back(3.0 * xi - 2.0 + 0.01 * (rng.uniform() - 0.5));
+  }
+  const auto beta = least_squares(x, n, 2, y);
+  EXPECT_NEAR(beta[0], 3.0, 0.01);
+  EXPECT_NEAR(beta[1], -2.0, 0.05);
+}
+
+TEST(LeastSquares, ThrowsOnShapeMismatch) {
+  EXPECT_THROW(least_squares({1.0, 2.0}, 2, 2, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, ThrowsOnSingularSystem) {
+  // Two identical columns.
+  std::vector<double> x = {1.0, 1.0, 2.0, 2.0, 3.0, 3.0};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(least_squares(x, 3, 2, y), std::runtime_error);
+}
+
+TEST(NonNegLeastSquares, RecoversNonNegativeSolution) {
+  // y = 4a + 0.5b with a, b >= 0.
+  Rng rng(17);
+  std::vector<double> x, y;
+  const std::size_t n = 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back(a);
+    x.push_back(b);
+    y.push_back(4.0 * a + 0.5 * b);
+  }
+  const auto beta = nonneg_least_squares(x, n, 2, y);
+  EXPECT_NEAR(beta[0], 4.0, 1e-6);
+  EXPECT_NEAR(beta[1], 0.5, 1e-6);
+}
+
+TEST(NonNegLeastSquares, ClampsNegativeComponent) {
+  // Best unconstrained fit would need a negative coefficient on column 2.
+  std::vector<double> x = {1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0};
+  std::vector<double> y = {0.9, 1.8, 2.7, 3.6};  // ~0.9 * col1, col2 == col1
+  const auto beta = nonneg_least_squares(x, 4, 2, y);
+  EXPECT_GE(beta[0], 0.0);
+  EXPECT_GE(beta[1], 0.0);
+  // Combined prediction should still be close.
+  for (int i = 0; i < 4; ++i) {
+    const double pred = beta[0] * x[static_cast<std::size_t>(i) * 2] +
+                        beta[1] * x[static_cast<std::size_t>(i) * 2 + 1];
+    EXPECT_NEAR(pred, y[static_cast<std::size_t>(i)], 0.05);
+  }
+}
+
+TEST(NonNegLeastSquares, ZeroColumnIgnored) {
+  std::vector<double> x = {1.0, 0.0, 2.0, 0.0, 3.0, 0.0};
+  std::vector<double> y = {2.0, 4.0, 6.0};
+  const auto beta = nonneg_least_squares(x, 3, 2, y);
+  EXPECT_NEAR(beta[0], 2.0, 1e-9);
+  EXPECT_EQ(beta[1], 0.0);
+}
+
+}  // namespace
+}  // namespace hdem

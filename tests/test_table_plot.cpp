@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace hdem {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  // Header line, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"x", "y", "z"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"x"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"col", "v"});
+  t.add_row({"aa", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.render();
+  // Every line has the same position for the second column start.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].substr(0, 3), "col");
+  EXPECT_EQ(lines[2].substr(0, 2), "aa");
+}
+
+TEST(AsciiPlot, RendersSeriesMarkers) {
+  AsciiPlot p("title", "x", "y", 40, 10);
+  p.add_series({"up", {1, 2, 3}, {1, 2, 3}});
+  p.add_series({"down", {1, 2, 3}, {3, 2, 1}});
+  const std::string s = p.render();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+  EXPECT_NE(s.find("up"), std::string::npos);
+  EXPECT_NE(s.find("down"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotDoesNotCrash) {
+  AsciiPlot p("nothing", "x", "y");
+  const std::string s = p.render();
+  EXPECT_NE(s.find("no data"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeries) {
+  AsciiPlot p("flat", "x", "y", 30, 8);
+  p.add_series({"c", {1, 2, 3}, {5, 5, 5}});
+  EXPECT_NO_THROW(p.render());
+}
+
+TEST(AsciiPlot, LogXDoesNotCrashOnWideRange) {
+  AsciiPlot p("log", "B/P", "eff", 40, 10);
+  p.set_logx(true);
+  p.add_series({"s", {1, 2, 4, 8, 16, 32}, {1.0, 0.9, 0.8, 0.6, 0.5, 0.3}});
+  EXPECT_NO_THROW(p.render());
+}
+
+TEST(AsciiPlot, SinglePoint) {
+  AsciiPlot p("pt", "x", "y");
+  p.add_series({"one", {2.0}, {3.0}});
+  EXPECT_NO_THROW(p.render());
+}
+
+}  // namespace
+}  // namespace hdem

@@ -1,0 +1,173 @@
+#include "smp/thread_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace hdem::smp {
+namespace {
+
+TEST(StaticBlock, PartitionsExactly) {
+  for (int t_count : {1, 2, 3, 4, 7}) {
+    for (std::int64_t n : {0, 1, 5, 100, 101}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_hi = 0;
+      for (int t = 0; t < t_count; ++t) {
+        const Range r = static_block(0, n, t, t_count);
+        EXPECT_EQ(r.lo, prev_hi) << "ranges must be contiguous";
+        EXPECT_GE(r.size(), 0);
+        covered += r.size();
+        prev_hi = r.hi;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_hi, n);
+    }
+  }
+}
+
+TEST(StaticBlock, BalancedWithinOne) {
+  const int t_count = 4;
+  const std::int64_t n = 10;
+  std::int64_t lo = n, hi = 0;
+  for (int t = 0; t < t_count; ++t) {
+    const auto r = static_block(0, n, t, t_count);
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(StaticBlock, NonZeroBegin) {
+  const auto r = static_block(10, 20, 1, 2);
+  EXPECT_EQ(r.lo, 15);
+  EXPECT_EQ(r.hi, 20);
+}
+
+TEST(ThreadTeam, AllThreadsParticipate) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(4);
+  team.parallel([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  int x = 0;
+  team.parallel([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++x;
+  });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadTeam, ParallelForCoversRangeOnce) {
+  ThreadTeam team(3);
+  std::vector<std::atomic<int>> hits(100);
+  team.parallel_for(0, 100, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, ManySequentialRegions) {
+  ThreadTeam team(4);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 200; ++r) {
+    team.parallel([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadTeam, BarrierSeparatesPhases) {
+  // Every thread writes phase-1 data, barrier, then reads another thread's
+  // slot; without a working barrier this reads stale zeros.
+  ThreadTeam team(4);
+  std::vector<int> slot(4, 0);
+  std::vector<int> read(4, -1);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::fill(slot.begin(), slot.end(), 0);
+    team.parallel([&](int tid) {
+      slot[static_cast<std::size_t>(tid)] = tid + 100;
+      team.barrier();
+      read[static_cast<std::size_t>(tid)] =
+          slot[static_cast<std::size_t>((tid + 1) % 4)];
+    });
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_EQ(read[static_cast<std::size_t>(t)], (t + 1) % 4 + 100);
+    }
+  }
+}
+
+TEST(ThreadTeam, RepeatedBarriersInOneRegion) {
+  ThreadTeam team(3);
+  std::atomic<int> counter{0};
+  team.parallel([&](int) {
+    for (int i = 0; i < 100; ++i) {
+      counter++;
+      team.barrier();
+      // After each barrier the counter must be a multiple of 3.
+      EXPECT_EQ(counter.load() % 3, 0);
+      team.barrier();
+    }
+  });
+  EXPECT_EQ(counter.load(), 300);
+}
+
+TEST(ThreadTeam, CriticalIsMutuallyExclusive) {
+  ThreadTeam team(4);
+  long unprotected = 0;
+  team.parallel([&](int) {
+    for (int i = 0; i < 5000; ++i) {
+      team.critical([&] { unprotected++; });
+    }
+  });
+  EXPECT_EQ(unprotected, 20000);
+}
+
+TEST(ThreadTeam, AtomicAddAccumulates) {
+  ThreadTeam team(4);
+  alignas(8) double sum = 0.0;
+  team.parallel([&](int) {
+    for (int i = 0; i < 10000; ++i) atomic_add(sum, 1.0);
+  });
+  EXPECT_DOUBLE_EQ(sum, 40000.0);
+}
+
+TEST(ThreadTeam, CountsRegionsBarriersCriticals) {
+  ThreadTeam team(2);
+  EXPECT_EQ(team.regions(), 0u);
+  team.parallel([&](int) { team.barrier(); });
+  team.parallel([](int) {});
+  team.critical([] {});
+  EXPECT_EQ(team.regions(), 2u);
+  EXPECT_EQ(team.barriers(), 1u) << "one episode, not one per thread";
+  EXPECT_EQ(team.criticals(), 1u);
+}
+
+TEST(ThreadTeam, ParallelForEmptyRange) {
+  ThreadTeam team(4);
+  std::atomic<int> calls{0};
+  team.parallel_for(5, 5, [&](int, std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadTeam, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadTeam team(0), std::invalid_argument);
+}
+
+TEST(ThreadTeam, DistinctTidsWithinRegion) {
+  ThreadTeam team(4);
+  std::mutex mu;
+  std::set<int> tids;
+  team.parallel([&](int tid) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(tids.insert(tid).second);
+  });
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hdem::smp

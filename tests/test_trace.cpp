@@ -1,0 +1,137 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/serial_sim.hpp"
+#include "driver/mp_sim.hpp"
+
+namespace hdem {
+namespace {
+
+// The tracer is process-global; serialise tests through a fixture that
+// resets it.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { trace::Tracer::global().enable(true); }
+  void TearDown() override { trace::Tracer::global().enable(false); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndRecordsNothing) {
+  trace::Tracer::global().enable(false);
+  {
+    trace::Scope scope(trace::Phase::kForce);
+  }
+  EXPECT_TRUE(trace::Tracer::global().events().empty());
+}
+
+TEST_F(TraceTest, ScopeRecordsOrderedInterval) {
+  {
+    trace::Scope scope(trace::Phase::kHaloSwap, 3);
+  }
+  const auto events = trace::Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, trace::Phase::kHaloSwap);
+  EXPECT_EQ(events[0].rank, 3);
+  EXPECT_LE(events[0].t_start, events[0].t_end);
+  EXPECT_GE(events[0].t_start, 0.0);
+}
+
+TEST_F(TraceTest, EnableResetsEpochAndBuffer) {
+  {
+    trace::Scope scope(trace::Phase::kForce);
+  }
+  trace::Tracer::global().enable(true);
+  EXPECT_TRUE(trace::Tracer::global().events().empty());
+}
+
+TEST_F(TraceTest, SerialDriverEmitsPhases) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  auto sim = SerialSim<2>::make_random(
+      cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, 300);
+  sim.run(5);
+  const auto sums = trace::Tracer::global().summarize();
+  auto count_of = [&](trace::Phase p) {
+    return sums[static_cast<std::size_t>(p)].count;
+  };
+  EXPECT_EQ(count_of(trace::Phase::kForce), 5u);
+  EXPECT_EQ(count_of(trace::Phase::kUpdate), 5u);
+  EXPECT_EQ(count_of(trace::Phase::kIteration), 5u);
+  EXPECT_GE(count_of(trace::Phase::kLinkBuild), 1u);  // constructor rebuild
+}
+
+TEST_F(TraceTest, MpDriverTagsEventsWithRanks) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 300);
+  const auto layout = DecompLayout<2>::make(2, 2);
+  mp::run(2, [&](mp::Comm& comm) {
+    MpSim<2> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    sim.run(3);
+  });
+  const auto events = trace::Tracer::global().events();
+  bool rank0 = false, rank1 = false, halo = false, collective = false;
+  for (const auto& e : events) {
+    if (e.rank == 0) rank0 = true;
+    if (e.rank == 1) rank1 = true;
+    if (e.phase == trace::Phase::kHaloSwap) halo = true;
+    if (e.phase == trace::Phase::kCollective) collective = true;
+  }
+  EXPECT_TRUE(rank0);
+  EXPECT_TRUE(rank1);
+  EXPECT_TRUE(halo);
+  EXPECT_TRUE(collective);
+}
+
+TEST_F(TraceTest, SummaryTableListsActivePhases) {
+  {
+    trace::Scope scope(trace::Phase::kForce);
+  }
+  const std::string table = trace::Tracer::global().summary_table();
+  EXPECT_NE(table.find("force"), std::string::npos);
+  EXPECT_EQ(table.find("migrate"), std::string::npos)
+      << "phases with no events are omitted";
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormedEnough) {
+  {
+    trace::Scope a(trace::Phase::kForce, 0);
+    trace::Scope b(trace::Phase::kUpdate, 1);
+  }
+  const std::string json = trace::Tracer::global().chrome_trace_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"force\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  // Balanced braces, ends with a closing bracket.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(TraceTest, WriteChromeTraceCreatesFile) {
+  {
+    trace::Scope scope(trace::Phase::kMigrate, 0);
+  }
+  const std::string path = "test_trace_out.json";
+  trace::Tracer::global().write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "[");
+  in.close();
+  std::filesystem::remove(path);
+}
+
+TEST_F(TraceTest, PhaseNames) {
+  EXPECT_STREQ(trace::to_string(trace::Phase::kForce), "force");
+  EXPECT_STREQ(trace::to_string(trace::Phase::kLinkBuild), "link-build");
+  EXPECT_STREQ(trace::to_string(trace::Phase::kCollective), "collective");
+}
+
+}  // namespace
+}  // namespace hdem

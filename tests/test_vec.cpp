@@ -1,0 +1,95 @@
+#include "util/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hdem {
+namespace {
+
+TEST(Vec, DefaultIsZero) {
+  Vec<3> v;
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[1], 0.0);
+  EXPECT_EQ(v[2], 0.0);
+}
+
+TEST(Vec, BroadcastConstructor) {
+  Vec<2> v(3.5);
+  EXPECT_EQ(v[0], 3.5);
+  EXPECT_EQ(v[1], 3.5);
+}
+
+TEST(Vec, ComponentConstructor) {
+  Vec<3> v(1.0, 2.0, 3.0);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(Vec, AdditionSubtraction) {
+  Vec<2> a(1.0, 2.0), b(10.0, 20.0);
+  const Vec<2> s = a + b;
+  EXPECT_EQ(s, (Vec<2>(11.0, 22.0)));
+  const Vec<2> d = b - a;
+  EXPECT_EQ(d, (Vec<2>(9.0, 18.0)));
+}
+
+TEST(Vec, CompoundOperators) {
+  Vec<3> a(1.0, 2.0, 3.0);
+  a += Vec<3>(1.0);
+  EXPECT_EQ(a, (Vec<3>(2.0, 3.0, 4.0)));
+  a -= Vec<3>(2.0);
+  EXPECT_EQ(a, (Vec<3>(0.0, 1.0, 2.0)));
+  a *= 3.0;
+  EXPECT_EQ(a, (Vec<3>(0.0, 3.0, 6.0)));
+  a /= 3.0;
+  EXPECT_EQ(a, (Vec<3>(0.0, 1.0, 2.0)));
+}
+
+TEST(Vec, ScalarMultiplyBothSides) {
+  Vec<2> a(2.0, -3.0);
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ((2.0 * a), (Vec<2>(4.0, -6.0)));
+}
+
+TEST(Vec, Negation) {
+  Vec<2> a(2.0, -3.0);
+  EXPECT_EQ(-a, (Vec<2>(-2.0, 3.0)));
+}
+
+TEST(Vec, DotAndNorm) {
+  Vec<3> a(1.0, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 9.0);
+  EXPECT_DOUBLE_EQ(norm(a), 3.0);
+  Vec<3> b(0.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 2.0);
+}
+
+TEST(Vec, DotIsBilinear) {
+  Vec<2> a(1.0, 2.0), b(3.0, -1.0), c(0.5, 4.0);
+  EXPECT_DOUBLE_EQ(dot(a + b, c), dot(a, c) + dot(b, c));
+  EXPECT_DOUBLE_EQ(dot(2.0 * a, c), 2.0 * dot(a, c));
+}
+
+TEST(Vec, ComponentwiseMinMax) {
+  Vec<2> a(1.0, 5.0), b(3.0, 2.0);
+  EXPECT_EQ(cmin(a, b), (Vec<2>(1.0, 2.0)));
+  EXPECT_EQ(cmax(a, b), (Vec<2>(3.0, 5.0)));
+}
+
+TEST(Vec, StreamOutput) {
+  std::ostringstream os;
+  os << Vec<2>(1.5, -2.0);
+  EXPECT_EQ(os.str(), "(1.5,-2)");
+}
+
+TEST(Vec, WorksInOneDimension) {
+  Vec<1> a(4.0);
+  EXPECT_DOUBLE_EQ(norm(a), 4.0);
+  EXPECT_DOUBLE_EQ(dot(a, Vec<1>(0.5)), 2.0);
+}
+
+}  // namespace
+}  // namespace hdem
