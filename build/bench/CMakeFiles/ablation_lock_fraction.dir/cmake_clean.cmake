@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_fraction.dir/ablation_lock_fraction.cpp.o"
+  "CMakeFiles/ablation_lock_fraction.dir/ablation_lock_fraction.cpp.o.d"
+  "ablation_lock_fraction"
+  "ablation_lock_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

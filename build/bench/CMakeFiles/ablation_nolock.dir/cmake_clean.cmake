@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nolock.dir/ablation_nolock.cpp.o"
+  "CMakeFiles/ablation_nolock.dir/ablation_nolock.cpp.o.d"
+  "ablation_nolock"
+  "ablation_nolock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nolock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

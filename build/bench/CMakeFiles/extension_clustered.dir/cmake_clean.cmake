@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_clustered.dir/extension_clustered.cpp.o"
+  "CMakeFiles/extension_clustered.dir/extension_clustered.cpp.o.d"
+  "extension_clustered"
+  "extension_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

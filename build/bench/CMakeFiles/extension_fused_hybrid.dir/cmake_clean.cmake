@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fused_hybrid.dir/extension_fused_hybrid.cpp.o"
+  "CMakeFiles/extension_fused_hybrid.dir/extension_fused_hybrid.cpp.o.d"
+  "extension_fused_hybrid"
+  "extension_fused_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fused_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

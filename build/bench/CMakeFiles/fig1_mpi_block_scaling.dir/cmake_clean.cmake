@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mpi_block_scaling.dir/fig1_mpi_block_scaling.cpp.o"
+  "CMakeFiles/fig1_mpi_block_scaling.dir/fig1_mpi_block_scaling.cpp.o.d"
+  "fig1_mpi_block_scaling"
+  "fig1_mpi_block_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mpi_block_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

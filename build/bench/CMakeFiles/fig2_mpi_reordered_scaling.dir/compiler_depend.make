@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_mpi_reordered_scaling.
+# This may be replaced when dependencies are built.

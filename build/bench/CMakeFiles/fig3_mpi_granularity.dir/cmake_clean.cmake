@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mpi_granularity.dir/fig3_mpi_granularity.cpp.o"
+  "CMakeFiles/fig3_mpi_granularity.dir/fig3_mpi_granularity.cpp.o.d"
+  "fig3_mpi_granularity"
+  "fig3_mpi_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mpi_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_openmp_sun.dir/fig4_openmp_sun.cpp.o"
+  "CMakeFiles/fig4_openmp_sun.dir/fig4_openmp_sun.cpp.o.d"
+  "fig4_openmp_sun"
+  "fig4_openmp_sun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_openmp_sun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

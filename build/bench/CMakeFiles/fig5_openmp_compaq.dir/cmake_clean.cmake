@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_openmp_compaq.dir/fig5_openmp_compaq.cpp.o"
+  "CMakeFiles/fig5_openmp_compaq.dir/fig5_openmp_compaq.cpp.o.d"
+  "fig5_openmp_compaq"
+  "fig5_openmp_compaq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_openmp_compaq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpi_vs_openmp_crossover.dir/fig6_mpi_vs_openmp_crossover.cpp.o"
+  "CMakeFiles/fig6_mpi_vs_openmp_crossover.dir/fig6_mpi_vs_openmp_crossover.cpp.o.d"
+  "fig6_mpi_vs_openmp_crossover"
+  "fig6_mpi_vs_openmp_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpi_vs_openmp_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hybrid_d3.dir/fig8_hybrid_d3.cpp.o"
+  "CMakeFiles/fig8_hybrid_d3.dir/fig8_hybrid_d3.cpp.o.d"
+  "fig8_hybrid_d3"
+  "fig8_hybrid_d3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hybrid_d3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

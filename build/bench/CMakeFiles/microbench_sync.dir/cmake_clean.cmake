@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_sync.dir/microbench_sync.cpp.o"
+  "CMakeFiles/microbench_sync.dir/microbench_sync.cpp.o.d"
+  "microbench_sync"
+  "microbench_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_granular_friction.dir/granular_friction.cpp.o"
+  "CMakeFiles/example_granular_friction.dir/granular_friction.cpp.o.d"
+  "granular_friction"
+  "granular_friction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_granular_friction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

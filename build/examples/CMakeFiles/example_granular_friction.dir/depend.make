@@ -1,0 +1,2 @@
+# Empty dependencies file for example_granular_friction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sandpile.dir/sandpile.cpp.o"
+  "CMakeFiles/example_sandpile.dir/sandpile.cpp.o.d"
+  "sandpile"
+  "sandpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sandpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

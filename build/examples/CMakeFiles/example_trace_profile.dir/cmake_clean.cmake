@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_profile.dir/trace_profile.cpp.o"
+  "CMakeFiles/example_trace_profile.dir/trace_profile.cpp.o.d"
+  "trace_profile"
+  "trace_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counters.cpp" "src/CMakeFiles/hdem.dir/core/counters.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/core/counters.cpp.o.d"
+  "/root/repo/src/mp/comm.cpp" "src/CMakeFiles/hdem.dir/mp/comm.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/mp/comm.cpp.o.d"
+  "/root/repo/src/mp/world.cpp" "src/CMakeFiles/hdem.dir/mp/world.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/mp/world.cpp.o.d"
+  "/root/repo/src/perf/calibrate.cpp" "src/CMakeFiles/hdem.dir/perf/calibrate.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/perf/calibrate.cpp.o.d"
+  "/root/repo/src/perf/cost_model.cpp" "src/CMakeFiles/hdem.dir/perf/cost_model.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/perf/cost_model.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/hdem.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/microbench.cpp" "src/CMakeFiles/hdem.dir/perf/microbench.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/perf/microbench.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/hdem.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/perf/report.cpp.o.d"
+  "/root/repo/src/smp/thread_team.cpp" "src/CMakeFiles/hdem.dir/smp/thread_team.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/smp/thread_team.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/hdem.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/hdem.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/hdem.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hdem.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hdem.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hdem.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

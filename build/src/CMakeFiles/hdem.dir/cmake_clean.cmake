@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdem.dir/core/counters.cpp.o"
+  "CMakeFiles/hdem.dir/core/counters.cpp.o.d"
+  "CMakeFiles/hdem.dir/mp/comm.cpp.o"
+  "CMakeFiles/hdem.dir/mp/comm.cpp.o.d"
+  "CMakeFiles/hdem.dir/mp/world.cpp.o"
+  "CMakeFiles/hdem.dir/mp/world.cpp.o.d"
+  "CMakeFiles/hdem.dir/perf/calibrate.cpp.o"
+  "CMakeFiles/hdem.dir/perf/calibrate.cpp.o.d"
+  "CMakeFiles/hdem.dir/perf/cost_model.cpp.o"
+  "CMakeFiles/hdem.dir/perf/cost_model.cpp.o.d"
+  "CMakeFiles/hdem.dir/perf/machine.cpp.o"
+  "CMakeFiles/hdem.dir/perf/machine.cpp.o.d"
+  "CMakeFiles/hdem.dir/perf/microbench.cpp.o"
+  "CMakeFiles/hdem.dir/perf/microbench.cpp.o.d"
+  "CMakeFiles/hdem.dir/perf/report.cpp.o"
+  "CMakeFiles/hdem.dir/perf/report.cpp.o.d"
+  "CMakeFiles/hdem.dir/smp/thread_team.cpp.o"
+  "CMakeFiles/hdem.dir/smp/thread_team.cpp.o.d"
+  "CMakeFiles/hdem.dir/trace/tracer.cpp.o"
+  "CMakeFiles/hdem.dir/trace/tracer.cpp.o.d"
+  "CMakeFiles/hdem.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/hdem.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/hdem.dir/util/cli.cpp.o"
+  "CMakeFiles/hdem.dir/util/cli.cpp.o.d"
+  "CMakeFiles/hdem.dir/util/stats.cpp.o"
+  "CMakeFiles/hdem.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hdem.dir/util/table.cpp.o"
+  "CMakeFiles/hdem.dir/util/table.cpp.o.d"
+  "libhdem.a"
+  "libhdem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_grid.dir/test_cell_grid.cpp.o"
+  "CMakeFiles/test_cell_grid.dir/test_cell_grid.cpp.o.d"
+  "test_cell_grid"
+  "test_cell_grid.pdb"
+  "test_cell_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

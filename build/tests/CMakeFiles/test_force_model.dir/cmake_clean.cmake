@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_force_model.dir/test_force_model.cpp.o"
+  "CMakeFiles/test_force_model.dir/test_force_model.cpp.o.d"
+  "test_force_model"
+  "test_force_model.pdb"
+  "test_force_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_force_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_force_pass_models.dir/test_force_pass_models.cpp.o"
+  "CMakeFiles/test_force_pass_models.dir/test_force_pass_models.cpp.o.d"
+  "test_force_pass_models"
+  "test_force_pass_models.pdb"
+  "test_force_pass_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_force_pass_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

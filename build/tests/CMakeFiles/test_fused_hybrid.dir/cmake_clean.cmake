@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused_hybrid.dir/test_fused_hybrid.cpp.o"
+  "CMakeFiles/test_fused_hybrid.dir/test_fused_hybrid.cpp.o.d"
+  "test_fused_hybrid"
+  "test_fused_hybrid.pdb"
+  "test_fused_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_list.dir/test_link_list.cpp.o"
+  "CMakeFiles/test_link_list.dir/test_link_list.cpp.o.d"
+  "test_link_list"
+  "test_link_list.pdb"
+  "test_link_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_runtime.dir/test_mp_runtime.cpp.o"
+  "CMakeFiles/test_mp_runtime.dir/test_mp_runtime.cpp.o.d"
+  "test_mp_runtime"
+  "test_mp_runtime.pdb"
+  "test_mp_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial_sim.dir/test_serial_sim.cpp.o"
+  "CMakeFiles/test_serial_sim.dir/test_serial_sim.cpp.o.d"
+  "test_serial_sim"
+  "test_serial_sim.pdb"
+  "test_serial_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_plot.dir/test_table_plot.cpp.o"
+  "CMakeFiles/test_table_plot.dir/test_table_plot.cpp.o.d"
+  "test_table_plot"
+  "test_table_plot.pdb"
+  "test_table_plot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_team.dir/test_thread_team.cpp.o"
+  "CMakeFiles/test_thread_team.dir/test_thread_team.cpp.o.d"
+  "test_thread_team"
+  "test_thread_team.pdb"
+  "test_thread_team[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
