@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   std::ostringstream out;
   out << "== Ablation: unprotected force updates (free-atomic bound), "
          "Compaq D=3, rc=2.0 ==\n\n";
-  Table t({"B/P", "MPI t (s)", "hybrid (selected) t", "hybrid (nolock) t",
-           "nolock beats MPI?"});
+  Table t({"B/P", "MPI t (s)", "hybrid (selected) t", "hybrid (colored) t",
+           "hybrid (nolock) t", "nolock beats MPI?"});
   int wins_small_b = 0;
   for (int bpp : bpps) {
     perf::MeasureSpec mpi;
@@ -48,12 +48,13 @@ int main(int argc, char** argv) {
       return predict_paper_seconds(machine, perf::measure_run(hyb).run, 1);
     };
     const double t_sel = hybrid_time(ReductionKind::kSelectedAtomic);
+    const double t_colored = hybrid_time(ReductionKind::kColored);
     const double t_nolock = hybrid_time(ReductionKind::kNoLock);
     const bool wins = t_nolock < t_mpi;
     if (wins && bpp <= 4) ++wins_small_b;
     t.add_row({std::to_string(bpp), Table::num(t_mpi, 3),
-               Table::num(t_sel, 3), Table::num(t_nolock, 3),
-               wins ? "yes" : "no"});
+               Table::num(t_sel, 3), Table::num(t_colored, 3),
+               Table::num(t_nolock, 3), wins ? "yes" : "no"});
   }
   out << t.render() << "\n";
   out << "Paper shape check: with locking removed the hybrid code beats\n"
@@ -61,7 +62,9 @@ int main(int argc, char** argv) {
       << " of the B/P <= 4 points here), so a machine with a genuinely\n"
       << "free atomic would tip the Figure 8 comparison.\n"
       << "(The no-lock run computes wrong forces; it exists only to bound\n"
-      << "the cost of protection, exactly as in the paper.)\n";
+      << "the cost of protection, exactly as in the paper.  The colored\n"
+      << "column is the *correct* realisation of that bound: conflict-free\n"
+      << "color phases with plain updates and one extra barrier per color.)\n";
   emit("ablation_nolock.txt", out.str());
   return 0;
 }

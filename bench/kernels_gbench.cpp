@@ -10,6 +10,7 @@
 #include "core/init.hpp"
 #include "core/link_list.hpp"
 #include "mp/indexed.hpp"
+#include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
 
 namespace hdem {
@@ -69,6 +70,41 @@ BENCHMARK(BM_ForceLoop)
     ->Args({20000, 0})
     ->Args({20000, 1})
     ->Args({100000, 1});
+
+// Threaded force pass across the reduction strategies (args: n, strategy
+// index into kAllReductionKinds, team size).  The colored strategy's
+// phased conflict-free schedule should beat selected-atomic once several
+// threads contend for the boundary particles; nolock is the incorrect
+// free-atomic bound it is chasing.
+void BM_SmpForcePass(benchmark::State& state) {
+  System sys(static_cast<std::uint64_t>(state.range(0)), true);
+  const auto kind =
+      kAllReductionKinds[static_cast<std::size_t>(state.range(1))];
+  const int threads = static_cast<int>(state.range(2));
+  smp::ThreadTeam team(threads);
+  auto acc = make_accumulator<3>(kind);
+  prepare_accumulator<3>(acc, threads, sys.list, sys.store.size());
+  const ElasticSphere model{sys.cfg.stiffness, sys.cfg.diameter};
+  auto disp = [&](const Vec<3>& a, const Vec<3>& b) {
+    return sys.bc.displacement(a, b);
+  };
+  for (auto _ : state) {
+    const double pe =
+        dispatch_force_pass<3>(acc, team, sys.list, sys.store, model, disp);
+    benchmark::DoNotOptimize(pe);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.list.size()));
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_SmpForcePass)
+    ->ArgNames({"n", "strategy", "T"})
+    ->ArgsProduct({{20000},
+                   {0, 1, 2, 3, 4, 5, 6},  // kAllReductionKinds order
+                   {1, 4}})
+    ->Args({20000, 1, 8})   // selected-atomic at higher contention
+    ->Args({20000, 6, 8})   // colored at higher contention
+    ->UseRealTime();
 
 void BM_LinkBuild(benchmark::State& state) {
   System sys(static_cast<std::uint64_t>(state.range(0)), true);

@@ -6,6 +6,8 @@
 //   selected-atomic  conflict table; only genuinely shared particles locked
 //   transpose        array reduction (stripe performed identically in the
 //                    paper, so one representative is plotted)
+//   colored          conflict-free color phases, zero locks (this library's
+//                    correct realisation of the Section 9.3 no-lock bound)
 //
 // Critical-region reduction "gave extremely poor results which are not
 // shown" — same here (it is exercised by tests and the ablations).
@@ -43,7 +45,7 @@ inline int run_openmp_scaling_bench(int argc, char** argv,
 
   const std::vector<ReductionKind> strategies = {
       ReductionKind::kAtomicAll, ReductionKind::kSelectedAtomic,
-      ReductionKind::kTranspose};
+      ReductionKind::kTranspose, ReductionKind::kColored};
 
   std::ostringstream out;
   out << "== " << title << " ==\n\n";

@@ -52,6 +52,27 @@ class CellGrid {
   int ncells() const { return ncells_; }
   const std::array<int, D>& dims() const { return dims_; }
   const Vec<D>& origin() const { return lo_; }
+  bool wrapped(int d) const { return wrap_[static_cast<std::size_t>(d)]; }
+
+  // -- slab queries (the colored force reduction's geometry) ----------------
+  // A "slab" is a layer of cells sharing the axis-0 coordinate.  Axis 0 is
+  // special twice over: the half stencil only ever steps 0 or +1 along it
+  // (its first non-zero component is positive), so links originating in
+  // slab s touch particles in slabs s and s+1 only; and it is the slowest
+  // index of the row-major cell order, so each slab is one contiguous cell
+  // range and links built in cell order are already grouped by slab.
+  int slab_count() const { return dims_[0]; }
+  int slab_of_cell(std::int32_t cell) const {
+    return static_cast<int>(cell / (ncells_ / dims_[0]));
+  }
+  // Slab containing x, clamped exactly as cell_of() clamps, so the slab of
+  // a particle always agrees with the slab of its cell.
+  int slab_of_position(const Vec<D>& x) const {
+    int k = static_cast<int>((x[0] - lo_[0]) * inv_cell_[0]);
+    if (k < 0) k = 0;
+    if (k >= dims_[0]) k = dims_[0] - 1;
+    return k;
+  }
 
   // Row-major linear index, last dimension fastest.
   std::int32_t cell_index(const std::array<int, D>& c) const {

@@ -26,6 +26,9 @@ Counters& Counters::merge(const Counters& o) {
   plain_updates += o.plain_updates;
   critical_sections += o.critical_sections;
   reduction_bytes += o.reduction_bytes;
+  colors = colors > o.colors ? colors : o.colors;
+  colored_chunks += o.colored_chunks;
+  color_barriers += o.color_barriers;
   msgs_sent += o.msgs_sent;
   bytes_sent += o.bytes_sent;
   msgs_local += o.msgs_local;
@@ -84,6 +87,7 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.plain_updates = after.plain_updates - before.plain_updates;
   d.critical_sections = after.critical_sections - before.critical_sections;
   d.reduction_bytes = after.reduction_bytes - before.reduction_bytes;
+  d.color_barriers = after.color_barriers - before.color_barriers;
   d.msgs_sent = after.msgs_sent - before.msgs_sent;
   d.bytes_sent = after.bytes_sent - before.bytes_sent;
   d.msgs_local = after.msgs_local - before.msgs_local;
@@ -112,6 +116,8 @@ std::string Counters::summary() const {
      << " atomic=" << atomic_updates << " plain=" << plain_updates
      << " critical=" << critical_sections
      << " reduction_bytes=" << reduction_bytes << "\n"
+     << "colored: colors=" << colors << " chunks=" << colored_chunks
+     << " color_barriers=" << color_barriers << "\n"
      << "mp: msgs=" << msgs_sent << " bytes=" << bytes_sent
      << " local_msgs=" << msgs_local << " local_bytes=" << bytes_local
      << " collectives=" << collectives

@@ -44,6 +44,13 @@ struct Counters {
   std::uint64_t plain_updates = 0;     // force accumulations done unprotected
   std::uint64_t critical_sections = 0; // critical-section entries
   std::uint64_t reduction_bytes = 0;   // private-array traffic (zero+merge)
+  // Colored reduction (current plan): number of colors (phases per pass)
+  // and conflict-free chunks in the active ColorPlan; color_barriers counts
+  // the extra in-pass barrier episodes the colored schedule performs
+  // (cumulative — the price paid for zero atomics).
+  std::uint64_t colors = 0;            // colors in the active plan (0 = off)
+  std::uint64_t colored_chunks = 0;    // chunks in the active plan
+  std::uint64_t color_barriers = 0;    // barriers between color phases
 
   // -- message passing (cumulative) ------------------------------------------
   std::uint64_t msgs_sent = 0;         // point-to-point messages to other ranks

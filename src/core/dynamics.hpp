@@ -12,6 +12,7 @@
 #include "core/boundary.hpp"
 #include "core/counters.hpp"
 #include "core/link_list.hpp"
+#include "core/pair_kernel.hpp"
 #include "core/particle_store.hpp"
 #include "util/vec.hpp"
 
@@ -32,27 +33,16 @@ template <int D, class Model, class Disp>
 double accumulate_forces(std::span<const Link> links, ParticleStore<D>& store,
                          const Model& model, Disp&& disp, bool update_both,
                          double pe_weight, Counters* counters = nullptr) {
-  double pe = 0.0;
   std::uint64_t contacts = 0;
-  auto pos = store.positions();
-  auto vel = store.velocities();
   auto frc = store.forces();
-  for (const Link& l : links) {
-    const auto i = static_cast<std::size_t>(l.i);
-    const auto j = static_cast<std::size_t>(l.j);
-    const Vec<D> d = disp(pos[i], pos[j]);
-    double rv = 0.0;
-    if constexpr (Model::needs_velocity) {
-      rv = dot(vel[i] - vel[j], d);
-    }
-    double s, e;
-    if (!model.pair(norm2(d), rv, s, e)) continue;
-    ++contacts;
-    pe += pe_weight * e;
-    const Vec<D> f = s * d;
-    frc[i] += f;
-    if (update_both) frc[j] -= f;
-  }
+  // The serial driver shares the batched gather/compute/scatter kernel
+  // with the threaded force passes (bit-identical arithmetic and per-link
+  // order to the classic scalar loop).
+  const double pe = batched_pair_links<D>(
+      links, store.positions(), store.velocities(), model, disp, update_both,
+      pe_weight, contacts, [&](std::int32_t p, const Vec<D>& f) {
+        frc[static_cast<std::size_t>(p)] += f;
+      });
   if (counters != nullptr) {
     counters->force_evals += links.size();
     counters->contacts += contacts;

@@ -26,9 +26,58 @@ struct Link {
   std::int32_t j;  // second particle (may be a halo copy)
 };
 
+// Conflict-free partition of a link list for the colored force reduction.
+//
+// The grid's axis-0 slabs are grouped into `nchunks` contiguous chunks
+// (each at least one slab wide); every link is assigned to the chunk of
+// its lower slab, so the particles a chunk's links touch lie inside the
+// chunk or in the first slab of the next chunk (half-stencil geometry —
+// see CellGrid::slab_count).  Chunks of equal parity therefore touch
+// pairwise-disjoint particle sets: any number of threads may process
+// same-parity chunks concurrently with plain unprotected updates, with one
+// barrier between the even ("color 0") and odd ("color 1") phases.
+//
+// With axis 0 periodic the chunk count is forced even so the parity
+// alternation stays consistent around the ring (the last chunk's links
+// wrap into the first chunk's leading slab).
+//
+// The link sections are stored in the pair-swapped chunk order 0, 2, 1,
+// 4, 3, ... (cell order within each chunk): for every chunk pair sharing
+// particles the even chunk's links come first, so a serial in-order
+// traversal accumulates every particle's contributions in exactly the
+// order the colored pass does — that is what makes the colored
+// trajectories bit-identical to the serial driver's — while the layout
+// stays near-ascending and cache-friendly for the block strategies.
+struct ColorPlan {
+  int nchunks = 0;  // 0 = no plan built
+  int ncolors = 0;  // 1 (degenerate single chunk) or 2
+  // Per chunk: absolute index ranges into LinkList::links.
+  std::vector<std::size_t> core_lo, core_hi;
+  std::vector<std::size_t> halo_lo, halo_hi;
+
+  bool active() const { return nchunks > 0; }
+  int color_of(int chunk) const { return ncolors < 2 ? 0 : chunk & 1; }
+  void clear() {
+    nchunks = 0;
+    ncolors = 0;
+    core_lo.clear();
+    core_hi.clear();
+    halo_lo.clear();
+    halo_hi.clear();
+  }
+};
+
 struct LinkList {
   std::vector<Link> links;
   std::size_t n_core = 0;  // links[0, n_core) have both ends core
+  ColorPlan plan;          // rebuilt with the list (see build_color_plan)
+
+  // Rebuild scratch, reused across rebuilds to avoid per-rebuild
+  // allocations: halo links collected before splicing, and the colored
+  // reorder's temporaries.
+  std::vector<Link> halo_scratch;
+  std::vector<Link> sort_scratch;
+  std::vector<std::int32_t> chunk_scratch;
 
   std::span<const Link> core() const { return {links.data(), n_core}; }
   std::span<const Link> halo() const {
@@ -38,6 +87,7 @@ struct LinkList {
   void clear() {
     links.clear();
     n_core = 0;
+    plan.clear();
   }
 };
 
@@ -115,17 +165,102 @@ inline void record_link_stats(const LinkList& list, Counters& counters) {
   }
 }
 
-// Serial convenience wrapper: build the whole list in one pass.
+// Build the list's ColorPlan: assign every link to its chunk, reorder the
+// core and halo sections into the pair-swapped chunk order (a stable
+// counting sort, so cell order is preserved within each chunk), and record
+// the per-chunk ranges.
+// `pos` must be the positions the grid was last binned with — both ends of
+// a link are then at most one slab apart (cells are at least rc wide),
+// except the pair that spans the periodic seam, which belongs to the last
+// chunk (its links wrap into slab 0, the first chunk's leading slab).
+template <int D>
+void build_color_plan(LinkList& list, const CellGrid<D>& grid,
+                      std::span<const Vec<D>> pos) {
+  ColorPlan& plan = list.plan;
+  plan.clear();
+  const int nslabs = grid.slab_count();
+  const bool wrapped = grid.wrapped(0);
+  int nchunks = wrapped ? nslabs - (nslabs & 1) : nslabs;
+  if (nchunks < 1) nchunks = 1;
+  plan.nchunks = nchunks;
+  plan.ncolors = nchunks >= 2 ? 2 : 1;
+  const auto nsz = static_cast<std::size_t>(nchunks);
+  plan.core_lo.assign(nsz, 0);
+  plan.core_hi.assign(nsz, 0);
+  plan.halo_lo.assign(nsz, 0);
+  plan.halo_hi.assign(nsz, 0);
+
+  // Chunk c covers slabs [c * nslabs / nchunks, (c+1) * nslabs / nchunks),
+  // each at least one slab wide since nchunks <= nslabs.
+  auto chunk_of_slab = [&](int s) {
+    return static_cast<int>(
+        (static_cast<std::int64_t>(s + 1) * nchunks - 1) / nslabs);
+  };
+  // Storage rank: the pair-swapped sequence 0, 2, 1, 4, 3, 6, 5, ...
+  // Every pair of chunks that shares particles — {c-1, c}, and {nchunks-1,
+  // 0} across the periodic seam — stores the even chunk's links before the
+  // odd chunk's, so a serial in-order traversal accumulates each
+  // particle's contributions in exactly the colored pass's
+  // even-phase-then-odd-phase order (bit-identity).  Unlike a fully
+  // color-major layout the sequence stays near-ascending, so static link
+  // blocks keep their spatial locality and the selected-atomic conflict
+  // surface stays a surface.
+  auto rank_of_chunk = [&](int c) {
+    if ((c & 1) == 0) return c == 0 ? 0 : c - 1;
+    return c + 1 < nchunks ? c + 1 : c;
+  };
+
+  auto& chunk = list.chunk_scratch;
+  auto& tmp = list.sort_scratch;
+  chunk.resize(list.links.size());
+
+  auto reorder_section = [&](std::size_t lo, std::size_t hi,
+                             std::vector<std::size_t>& out_lo,
+                             std::vector<std::size_t>& out_hi) {
+    std::vector<std::size_t> start(nsz + 1, 0);
+    for (std::size_t l = lo; l < hi; ++l) {
+      const Link& ln = list.links[l];
+      int sp = grid.slab_of_position(pos[static_cast<std::size_t>(ln.i)]);
+      int sq = grid.slab_of_position(pos[static_cast<std::size_t>(ln.j)]);
+      if (sp > sq) std::swap(sp, sq);
+      // sq - sp > 1 can only be the pair straddling the periodic seam
+      // ({0, nslabs-1}); it originates from the top slab.
+      const int slab = (wrapped && sq - sp > 1) ? sq : sp;
+      chunk[l] = static_cast<std::int32_t>(chunk_of_slab(slab));
+      ++start[static_cast<std::size_t>(rank_of_chunk(chunk[l])) + 1];
+    }
+    for (std::size_t r = 0; r < nsz; ++r) start[r + 1] += start[r];
+    for (int c = 0; c < nchunks; ++c) {
+      const auto r = static_cast<std::size_t>(rank_of_chunk(c));
+      out_lo[static_cast<std::size_t>(c)] = lo + start[r];
+      out_hi[static_cast<std::size_t>(c)] = lo + start[r + 1];
+    }
+    tmp.resize(hi - lo);
+    for (std::size_t l = lo; l < hi; ++l) {
+      const auto r = static_cast<std::size_t>(rank_of_chunk(chunk[l]));
+      tmp[start[r]++] = list.links[l];
+    }
+    std::copy(tmp.begin(), tmp.end(),
+              list.links.begin() + static_cast<std::ptrdiff_t>(lo));
+  };
+  reorder_section(0, list.n_core, plan.core_lo, plan.core_hi);
+  reorder_section(list.n_core, list.links.size(), plan.halo_lo, plan.halo_hi);
+}
+
+// Serial convenience wrapper: build the whole list in one pass, then group
+// it into color classes.
 template <int D, class Disp>
 void build_links(LinkList& out, const CellGrid<D>& grid,
                  std::span<const Vec<D>> pos, std::size_t ncore, double rc,
                  Disp&& disp, Counters* counters = nullptr) {
   out.clear();
-  std::vector<Link> halo_links;
+  out.halo_scratch.clear();
   build_links_range(grid, pos, ncore, rc, disp, 0, grid.ncells(), out.links,
-                    halo_links);
+                    out.halo_scratch);
   out.n_core = out.links.size();
-  out.links.insert(out.links.end(), halo_links.begin(), halo_links.end());
+  out.links.insert(out.links.end(), out.halo_scratch.begin(),
+                   out.halo_scratch.end());
+  build_color_plan(out, grid, pos);
   if (counters != nullptr) record_link_stats(out, *counters);
 }
 

@@ -83,7 +83,8 @@ class MpSim {
         opts_.reduction != ReductionKind::kNoLock) {
       throw std::invalid_argument(
           "MpSim: fused mode supports the atomic-family reductions only "
-          "(private-array strategies need per-block merge phases)");
+          "(private-array strategies need per-block merge phases, colored "
+          "needs per-block color barriers)");
     }
     if (opts_.nthreads > 1) {
       team_ = std::make_unique<smp::ThreadTeam>(opts_.nthreads);
@@ -311,6 +312,11 @@ class MpSim {
                                  std::span<const Link>(b.links.links),
                                  b.links.n_core, b.ncore, link_offset_[k],
                                  link_offset_.back());
+              } else if constexpr (std::is_same_v<T, ColoredAccumulator<D>>) {
+                // Unreachable: the Options validation rejects fused+colored
+                // (one global link partition cannot honour per-block phase
+                // barriers).
+                throw std::logic_error("MpSim: fused colored reduction");
               } else {
                 a.prepare(team_->size(), std::span<const Link>(b.links.links),
                           b.links.n_core, b.ncore);

@@ -153,6 +153,10 @@ class SmpSim {
       links_.links.insert(links_.links.end(), v.begin(), v.end());
     }
     links_.n_core = links_.links.size();
+    // Group into conflict-free color classes (also re-establishes the
+    // canonical pair-swapped chunk order, so the splice's
+    // thread-count-dependent seams never affect traversal order).
+    build_color_plan(links_, grid_, store_.cpositions());
     counters_.links_core = 0;
     counters_.links_halo = 0;
     record_link_stats(links_, counters_);

@@ -17,6 +17,7 @@
 #include "core/counters.hpp"
 #include "core/dynamics.hpp"
 #include "core/link_list.hpp"
+#include "core/pair_kernel.hpp"
 #include "core/particle_store.hpp"
 #include "reduction/strategies.hpp"
 #include "smp/thread_team.hpp"
@@ -61,30 +62,37 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
     double my_pe = 0.0;
     std::uint64_t my_contacts = 0;
 
-    auto process = [&](const Link& l, bool update_both, double pe_weight) {
-      const auto i = static_cast<std::size_t>(l.i);
-      const auto j = static_cast<std::size_t>(l.j);
-      const Vec<D> d = disp(pos[i], pos[j]);
-      double rv = 0.0;
-      if constexpr (Model::needs_velocity) {
-        rv = dot(vel[i] - vel[j], d);
-      }
-      double s, e;
-      if (!model.pair(norm2(d), rv, s, e)) return;
-      ++my_contacts;
-      my_pe += pe_weight * e;
-      const Vec<D> f = s * d;
-      acc.add(tid, l.i, f, store);
-      if (update_both) acc.add(tid, l.j, -f, store);
+    const auto sink = [&](std::int32_t p, const Vec<D>& f) {
+      acc.add(tid, p, f, store);
+    };
+    auto run = [&](std::size_t lo, std::size_t hi, bool update_both,
+                   double pe_weight) {
+      my_pe += batched_pair_links<D>(
+          std::span<const Link>(list.links.data() + lo, hi - lo), pos, vel,
+          model, disp, update_both, pe_weight, my_contacts, sink);
     };
 
-    const auto rc = smp::static_block(0, n_core_links, tid, t_count);
-    for (std::int64_t l = rc.lo; l < rc.hi; ++l) {
-      process(list.links[static_cast<std::size_t>(l)], true, 1.0);
-    }
-    const auto rh = smp::static_block(n_core_links, n_links, tid, t_count);
-    for (std::int64_t l = rh.lo; l < rh.hi; ++l) {
-      process(list.links[static_cast<std::size_t>(l)], false, 0.5);
+    if constexpr (requires { Accum::kColoredSchedule; }) {
+      // Phased conflict-free traversal: within a phase each thread's
+      // chunks write disjoint particle sets, so every add is a plain
+      // store; the barrier separates phases whose write regions overlap.
+      const int nph = acc.phase_count();
+      for (int ph = 0; ph < nph; ++ph) {
+        const bool halo = acc.phase_is_halo(ph);
+        for (const int chunk : acc.thread_chunks(acc.phase_color(ph), tid)) {
+          const auto [lo, hi] =
+              halo ? acc.halo_range(chunk) : acc.core_range(chunk);
+          run(lo, hi, !halo, halo ? 0.5 : 1.0);
+        }
+        if (ph + 1 < nph) team.barrier();
+      }
+    } else {
+      const auto rc = smp::static_block(0, n_core_links, tid, t_count);
+      run(static_cast<std::size_t>(rc.lo), static_cast<std::size_t>(rc.hi),
+          true, 1.0);
+      const auto rh = smp::static_block(n_core_links, n_links, tid, t_count);
+      run(static_cast<std::size_t>(rh.lo), static_cast<std::size_t>(rh.hi),
+          false, 0.5);
     }
 
     acc.thread_finish(team, tid, store);
@@ -142,25 +150,27 @@ double fused_force_range(const LinkList& list, std::int64_t lo,
                          std::uint64_t& contacts) {
   auto pos = store.positions();
   auto vel = store.velocities();
-  double pe = 0.0;
   const auto n_core = static_cast<std::int64_t>(list.n_core);
-  for (std::int64_t l = lo; l < hi; ++l) {
-    const Link& link = list.links[static_cast<std::size_t>(l)];
-    const auto i = static_cast<std::size_t>(link.i);
-    const auto j = static_cast<std::size_t>(link.j);
-    const Vec<D> d = pos[i] - pos[j];
-    double rv = 0.0;
-    if constexpr (Model::needs_velocity) {
-      rv = dot(vel[i] - vel[j], d);
-    }
-    double s, e;
-    if (!model.pair(norm2(d), rv, s, e)) continue;
-    ++contacts;
-    const bool core = l < n_core;
-    pe += core ? e : 0.5 * e;
-    const Vec<D> f = s * d;
-    acc.add(tid, link.i, f, store);
-    if (core) acc.add(tid, link.j, -f, store);
+  const auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
+  const auto sink = [&](std::int32_t p, const Vec<D>& f) {
+    acc.add(tid, p, f, store);
+  };
+  // The range may straddle the core/halo boundary; each side runs through
+  // the batched kernel with its own update/weight mode.
+  double pe = 0.0;
+  const std::int64_t core_hi = std::min(hi, n_core);
+  if (lo < core_hi) {
+    pe += batched_pair_links<D>(
+        std::span<const Link>(list.links.data() + lo,
+                              static_cast<std::size_t>(core_hi - lo)),
+        pos, vel, model, disp, true, 1.0, contacts, sink);
+  }
+  const std::int64_t halo_lo = std::max(lo, n_core);
+  if (halo_lo < hi) {
+    pe += batched_pair_links<D>(
+        std::span<const Link>(list.links.data() + halo_lo,
+                              static_cast<std::size_t>(hi - halo_lo)),
+        pos, vel, model, disp, false, 0.5, contacts, sink);
   }
   return pe;
 }
@@ -171,7 +181,8 @@ template <int D>
 using AnyAccumulator =
     std::variant<AtomicAllAccumulator<D>, SelectedAtomicAccumulator<D>,
                  CriticalAccumulator<D>, StripeAccumulator<D>,
-                 TransposeAccumulator<D>, NoLockAccumulator<D>>;
+                 TransposeAccumulator<D>, NoLockAccumulator<D>,
+                 ColoredAccumulator<D>>;
 
 template <int D>
 AnyAccumulator<D> make_accumulator(ReductionKind kind) {
@@ -182,6 +193,7 @@ AnyAccumulator<D> make_accumulator(ReductionKind kind) {
     case ReductionKind::kStripe: return StripeAccumulator<D>{};
     case ReductionKind::kTranspose: return TransposeAccumulator<D>{};
     case ReductionKind::kNoLock: return NoLockAccumulator<D>{};
+    case ReductionKind::kColored: return ColoredAccumulator<D>{};
   }
   return AtomicAllAccumulator<D>{};
 }
@@ -191,8 +203,14 @@ void prepare_accumulator(AnyAccumulator<D>& acc, int team_size,
                          const LinkList& list, std::size_t nparticles) {
   std::visit(
       [&](auto& a) {
-        a.prepare(team_size, std::span<const Link>(list.links), list.n_core,
-                  nparticles);
+        if constexpr (requires { std::decay_t<decltype(a)>::kColoredSchedule; }) {
+          // The colored strategy consumes the list's ColorPlan, not just
+          // the link span.
+          a.prepare(team_size, list, nparticles);
+        } else {
+          a.prepare(team_size, std::span<const Link>(list.links), list.n_core,
+                    nparticles);
+        }
       },
       acc);
 }

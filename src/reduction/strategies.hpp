@@ -16,6 +16,12 @@
 //                   index; the merge is a parallel loop over particles
 //   NoLock          *incorrect* unprotected updates; models a machine with
 //                   a free atomic (the paper's Section 9.3 ablation)
+//   Colored         *correct* unprotected updates: links are grouped into
+//                   conflict-free color classes at each rebuild (see
+//                   ColorPlan in core/link_list.hpp) and the force pass
+//                   runs color-by-color with a barrier in between — zero
+//                   atomics, zero private-array merges.  The achievable
+//                   version of the NoLock bound.
 //
 // Each strategy implements:
 //   prepare(team_size, links, n_core_links, nparticles)  (per rebuild)
@@ -26,9 +32,12 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "core/counters.hpp"
@@ -46,6 +55,14 @@ enum class ReductionKind : std::uint8_t {
   kStripe,
   kTranspose,
   kNoLock,
+  kColored,
+};
+
+inline constexpr std::array<ReductionKind, 7> kAllReductionKinds = {
+    ReductionKind::kAtomicAll, ReductionKind::kSelectedAtomic,
+    ReductionKind::kCritical,  ReductionKind::kStripe,
+    ReductionKind::kTranspose, ReductionKind::kNoLock,
+    ReductionKind::kColored,
 };
 
 inline const char* to_string(ReductionKind k) {
@@ -56,8 +73,21 @@ inline const char* to_string(ReductionKind k) {
     case ReductionKind::kStripe: return "stripe";
     case ReductionKind::kTranspose: return "transpose";
     case ReductionKind::kNoLock: return "nolock";
+    case ReductionKind::kColored: return "colored";
   }
   return "?";
+}
+
+// Parse a strategy name as printed by to_string.  Returns false (leaving
+// `out` untouched) for unknown names.
+inline bool reduction_from_string(std::string_view name, ReductionKind& out) {
+  for (const ReductionKind k : kAllReductionKinds) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace detail {
@@ -342,6 +372,137 @@ class TransposeAccumulator : public PrivateArrayBase<D> {
     if (tid == 0) this->bytes_ += this->merge_traffic_bytes();
   }
   void collect(Counters& c) { this->collect_base(c); }
+};
+
+// ---------------------------------------------------------------------------
+// Conflict-free colored schedule: every update is a plain store, yet the
+// result is correct *and* bit-identical to the serial driver.
+//
+// The list's ColorPlan (built at every rebuild) partitions links into
+// chunks along the grid's axis-0 slabs such that chunks of equal parity
+// ("color") write pairwise-disjoint particle sets.  prepare() assigns each
+// color's chunks to threads as contiguous runs balanced by link count —
+// any assignment is race-free, so load balance costs nothing.  The force
+// pass (which detects kColoredSchedule) then walks the phases
+//
+//   core color 0 | barrier | core color 1 | barrier |
+//   halo color 0 | barrier | halo color 1            (halo phases only
+//                                                     when halo links exist)
+//
+// matching the serial core-then-halo traversal of the pair-swapped link
+// layout exactly (each particle sees its even chunk's contributions before
+// its odd chunk's in both), which is what makes the trajectories
+// deterministic and bit-identical for every thread count.
+template <int D>
+class ColoredAccumulator {
+ public:
+  // Tag detected by smp_force_pass to run the phased traversal instead of
+  // the static link partition.
+  static constexpr bool kColoredSchedule = true;
+
+  // Unlike the other strategies this one needs the list's ColorPlan, not
+  // just the link span; prepare_accumulator() dispatches accordingly.
+  void prepare(int team_size, const LinkList& list, std::size_t) {
+    const ColorPlan& plan = list.plan;
+    if (!plan.active()) {
+      throw std::logic_error("ColoredAccumulator: link list has no ColorPlan");
+    }
+    team_size_ = team_size;
+    ncolors_ = plan.ncolors;
+    nchunks_ = plan.nchunks;
+    has_halo_ = list.size() > list.n_core;
+    core_lo_ = plan.core_lo;
+    core_hi_ = plan.core_hi;
+    halo_lo_ = plan.halo_lo;
+    halo_hi_ = plan.halo_hi;
+    tallies_.assign(static_cast<std::size_t>(team_size), {});
+
+    for (int color = 0; color < 2; ++color) chunks_[color].clear();
+    for (int c = 0; c < nchunks_; ++c) {
+      chunks_[plan.color_of(c)].push_back(c);
+    }
+    const auto tsz = static_cast<std::size_t>(team_size);
+    for (int color = 0; color < ncolors_; ++color) {
+      const auto& cs = chunks_[color];
+      const std::size_t m = cs.size();
+      // Prefix link weights (core + halo) over this color's chunks.
+      std::uint64_t total = 0;
+      prefix_.assign(m + 1, 0);
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto c = static_cast<std::size_t>(cs[k]);
+        total += (core_hi_[c] - core_lo_[c]) + (halo_hi_[c] - halo_lo_[c]);
+        prefix_[k + 1] = total;
+      }
+      auto& bound = bounds_[color];
+      bound.assign(tsz + 1, m);
+      bound[0] = 0;
+      std::size_t cursor = 0;
+      for (std::size_t t = 1; t < tsz; ++t) {
+        if (total == 0) {
+          cursor = m * t / tsz;  // empty color: split by chunk count
+        } else {
+          // Cut at the chunk boundary nearest the ideal split: a chunk
+          // goes left of the cut iff its weight midpoint does.
+          const std::uint64_t target = total * t / tsz;
+          while (cursor < m &&
+                 (prefix_[cursor] + prefix_[cursor + 1]) / 2 <= target) {
+            ++cursor;
+          }
+        }
+        bound[t] = cursor;
+      }
+    }
+  }
+
+  void thread_begin(int, ParticleStore<D>&) {}
+  void add(int tid, std::int32_t i, const Vec<D>& f, ParticleStore<D>& store) {
+    store.frc(static_cast<std::size_t>(i)) += f;
+    ++tallies_[static_cast<std::size_t>(tid)].plain_updates;
+  }
+  void thread_finish(smp::ThreadTeam&, int, ParticleStore<D>&) {}
+  void collect(Counters& c) {
+    for (auto& t : tallies_) {
+      c.plain_updates += t.plain_updates;
+      t = {};
+    }
+    c.colors = static_cast<std::uint64_t>(ncolors_);
+    c.colored_chunks = static_cast<std::uint64_t>(nchunks_);
+    c.color_barriers += static_cast<std::uint64_t>(phase_count() - 1);
+  }
+
+  // -- phased-traversal queries (used by smp_force_pass and tests) ----------
+  int phase_count() const { return ncolors_ * (has_halo_ ? 2 : 1); }
+  bool phase_is_halo(int ph) const { return ph >= ncolors_; }
+  int phase_color(int ph) const { return ph % ncolors_; }
+  int ncolors() const { return ncolors_; }
+  int nchunks() const { return nchunks_; }
+  // Chunk ids of `color` assigned to thread `tid` (contiguous run).
+  std::span<const int> thread_chunks(int color, int tid) const {
+    const auto& bound = bounds_[color];
+    const auto t = static_cast<std::size_t>(tid);
+    return std::span<const int>(chunks_[color])
+        .subspan(bound[t], bound[t + 1] - bound[t]);
+  }
+  // Absolute link-index ranges of one chunk.
+  std::pair<std::size_t, std::size_t> core_range(int chunk) const {
+    const auto c = static_cast<std::size_t>(chunk);
+    return {core_lo_[c], core_hi_[c]};
+  }
+  std::pair<std::size_t, std::size_t> halo_range(int chunk) const {
+    const auto c = static_cast<std::size_t>(chunk);
+    return {halo_lo_[c], halo_hi_[c]};
+  }
+
+ private:
+  int team_size_ = 1;
+  int ncolors_ = 1;
+  int nchunks_ = 0;
+  bool has_halo_ = false;
+  std::array<std::vector<int>, 2> chunks_;          // chunk ids per color
+  std::array<std::vector<std::size_t>, 2> bounds_;  // per color: T+1 splits
+  std::vector<std::size_t> core_lo_, core_hi_, halo_lo_, halo_hi_;
+  std::vector<std::uint64_t> prefix_;  // prepare() scratch
+  std::vector<detail::ThreadTally> tallies_;
 };
 
 }  // namespace hdem

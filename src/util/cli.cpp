@@ -84,6 +84,30 @@ std::string Cli::str(const std::string& name, const std::string& def,
   return v ? *v : def;
 }
 
+std::string Cli::choice(const std::string& name, const std::string& def,
+                        const std::vector<std::string>& allowed,
+                        const std::string& help) {
+  std::ostringstream h;
+  h << help << " [";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    h << (i ? "|" : "") << allowed[i];
+  }
+  h << "]";
+  declare(name, "choice", def, h.str());
+  auto v = lookup(name);
+  if (!v) return def;
+  for (const auto& a : allowed) {
+    if (*v == a) return *v;
+  }
+  std::ostringstream e;
+  e << "--" << name << ": '" << *v << "' is not one of ";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    e << (i ? ", " : "") << allowed[i];
+  }
+  errors_.push_back(e.str());
+  return def;
+}
+
 std::vector<std::int64_t> Cli::integer_list(
     const std::string& name, const std::vector<std::int64_t>& def,
     const std::string& help) {

@@ -24,6 +24,11 @@ class Cli {
   double real(const std::string& name, double def, const std::string& help);
   std::string str(const std::string& name, const std::string& def,
                   const std::string& help);
+  // String constrained to one of `allowed`; any other value is an error
+  // listing the alternatives (used for reduction-strategy names).
+  std::string choice(const std::string& name, const std::string& def,
+                     const std::vector<std::string>& allowed,
+                     const std::string& help);
   // Comma-separated list of integers, e.g. --procs=1,2,4,8.
   std::vector<std::int64_t> integer_list(const std::string& name,
                                          const std::vector<std::int64_t>& def,

@@ -1,6 +1,7 @@
-// The five force-accumulation strategies must produce forces identical to
-// the serial reference, and the selected-atomic conflict table must agree
-// with a brute-force thread-overlap oracle.
+// The force-accumulation strategies must produce forces identical to the
+// serial reference, the selected-atomic conflict table must agree with a
+// brute-force thread-overlap oracle, and the colored strategy must be
+// conflict-free by construction and bit-identical to the serial driver.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +14,8 @@
 #include "core/dynamics.hpp"
 #include "core/force_model.hpp"
 #include "core/init.hpp"
+#include "core/serial_sim.hpp"
+#include "driver/smp_sim.hpp"
 #include "reduction/force_pass.hpp"
 
 namespace hdem {
@@ -93,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(ReductionKind::kAtomicAll,
                           ReductionKind::kSelectedAtomic,
                           ReductionKind::kCritical, ReductionKind::kStripe,
-                          ReductionKind::kTranspose),
+                          ReductionKind::kTranspose, ReductionKind::kColored),
         ::testing::Values(1, 2, 3, 4, 8)),
     [](const auto& info) {
       std::string name = to_string(std::get<0>(info.param));
@@ -204,6 +207,170 @@ TEST(Reduction, StrategyNames) {
   EXPECT_STREQ(to_string(ReductionKind::kStripe), "stripe");
   EXPECT_STREQ(to_string(ReductionKind::kTranspose), "transpose");
   EXPECT_STREQ(to_string(ReductionKind::kNoLock), "nolock");
+  EXPECT_STREQ(to_string(ReductionKind::kColored), "colored");
+}
+
+TEST(Reduction, NameParsingRoundTrips) {
+  for (const ReductionKind k : kAllReductionKinds) {
+    ReductionKind parsed = ReductionKind::kAtomicAll;
+    EXPECT_TRUE(reduction_from_string(to_string(k), parsed)) << to_string(k);
+    EXPECT_EQ(parsed, k);
+  }
+  ReductionKind parsed = ReductionKind::kStripe;
+  EXPECT_FALSE(reduction_from_string("no-such-strategy", parsed));
+  EXPECT_EQ(parsed, ReductionKind::kStripe);  // untouched on failure
+}
+
+// -- colored strategy -------------------------------------------------------
+
+TEST(Colored, PlanCoversEveryCoreLinkExactlyOnce) {
+  Fixture f(800, 7);
+  const ColorPlan& plan = f.list.plan;
+  ASSERT_TRUE(plan.active());
+  EXPECT_GE(plan.ncolors, 1);
+  std::vector<int> seen(f.list.size(), 0);
+  std::size_t covered = 0;
+  for (int c = 0; c < plan.nchunks; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    for (std::size_t l = plan.core_lo[cs]; l < plan.core_hi[cs]; ++l) {
+      ++seen[l];
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, f.list.n_core);
+  for (std::size_t l = 0; l < f.list.n_core; ++l) {
+    EXPECT_EQ(seen[l], 1) << "link " << l;
+  }
+}
+
+// The defining property: within one color, no particle is written by
+// links assigned to two different thread ranges, for any team size.  The
+// write set of a core link is both ends; a halo link writes its core end
+// only (this fixture has none, but the scan covers the ranges anyway).
+TEST(Colored, NoParticleSharedAcrossThreadRangesWithinColor) {
+  Fixture f(800, 7);
+  ASSERT_TRUE(f.list.plan.active());
+  ASSERT_EQ(f.list.plan.ncolors, 2) << "fixture too small to exercise colors";
+  for (const int t_count : {2, 3, 4, 8}) {
+    ColoredAccumulator<2> acc;
+    acc.prepare(t_count, f.list, f.store.size());
+    for (int color = 0; color < acc.ncolors(); ++color) {
+      std::vector<int> writer(f.store.size(), -1);
+      std::size_t conflicts = 0;
+      auto touch = [&](std::int32_t p, int tid) {
+        auto& w = writer[static_cast<std::size_t>(p)];
+        if (w < 0) {
+          w = tid;
+        } else if (w != tid) {
+          ++conflicts;
+        }
+      };
+      for (int tid = 0; tid < t_count; ++tid) {
+        for (const int chunk : acc.thread_chunks(color, tid)) {
+          const auto [clo, chi] = acc.core_range(chunk);
+          for (std::size_t l = clo; l < chi; ++l) {
+            touch(f.list.links[l].i, tid);
+            touch(f.list.links[l].j, tid);
+          }
+          const auto [hlo, hhi] = acc.halo_range(chunk);
+          for (std::size_t l = hlo; l < hhi; ++l) {
+            touch(f.list.links[l].i, tid);
+          }
+        }
+      }
+      EXPECT_EQ(conflicts, 0u)
+          << "T=" << t_count << " color=" << color;
+    }
+  }
+}
+
+TEST(Colored, EveryChunkAssignedToExactlyOneThread) {
+  Fixture f(600, 19);
+  for (const int t_count : {1, 2, 5, 8}) {
+    ColoredAccumulator<2> acc;
+    acc.prepare(t_count, f.list, f.store.size());
+    std::vector<int> times_assigned(
+        static_cast<std::size_t>(acc.nchunks()), 0);
+    for (int color = 0; color < acc.ncolors(); ++color) {
+      for (int tid = 0; tid < t_count; ++tid) {
+        for (const int chunk : acc.thread_chunks(color, tid)) {
+          ASSERT_EQ(f.list.plan.color_of(chunk), color);
+          ++times_assigned[static_cast<std::size_t>(chunk)];
+        }
+      }
+    }
+    for (int c = 0; c < acc.nchunks(); ++c) {
+      EXPECT_EQ(times_assigned[static_cast<std::size_t>(c)], 1)
+          << "T=" << t_count << " chunk " << c;
+    }
+  }
+}
+
+TEST(Colored, CountersReportPlanAndPhaseBarriers) {
+  Fixture f(600, 3);
+  smp::ThreadTeam team(4);
+  auto acc = make_accumulator<2>(ReductionKind::kColored);
+  prepare_accumulator<2>(acc, 4, f.list, f.store.size());
+  auto disp = [&](const Vec<2>& a, const Vec<2>& b) {
+    return f.bc.displacement(a, b);
+  };
+  Counters c;
+  dispatch_force_pass<2>(acc, team, f.list, f.store, f.model(), disp, &c);
+  EXPECT_EQ(c.atomic_updates, 0u);
+  EXPECT_GT(c.plain_updates, 0u);
+  EXPECT_EQ(c.colors, 2u);
+  EXPECT_GE(c.colored_chunks, 2u);
+  // No halo links here: one extra barrier between the two core colors.
+  EXPECT_EQ(c.color_barriers, 1u);
+}
+
+// The colored pass is deterministic (no atomics, fixed traversal order),
+// so whole trajectories — not just single force passes — must be
+// bit-for-bit identical to the serial driver, across rebuilds, with and
+// without the cell-order reordering, for any thread count.
+template <int D>
+void expect_bit_identical_colored_trajectory(bool reorder, int threads) {
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.seed = 31;
+  cfg.velocity_scale = 0.8;  // several rebuilds over the run
+  cfg.reorder = reorder;
+  const std::uint64_t n = D == 2 ? 500 : 700;
+  const int steps = 120;
+  const ElasticSphere model{cfg.stiffness, cfg.diameter};
+
+  auto serial = SerialSim<D>::make_random(cfg, model, n);
+  serial.run(steps);
+
+  const auto init = uniform_random_particles(cfg, n);
+  SmpSim<D> colored(cfg, model, init, threads, ReductionKind::kColored);
+  colored.run(steps);
+
+  ASSERT_GT(colored.counters().rebuilds, 1u) << "no rebuild was exercised";
+  ASSERT_EQ(colored.store().size(), serial.store().size());
+  for (std::size_t i = 0; i < serial.store().size(); ++i) {
+    ASSERT_EQ(colored.store().id(i), serial.store().id(i)) << "index " << i;
+    EXPECT_EQ(colored.store().pos(i), serial.store().pos(i)) << "index " << i;
+    EXPECT_EQ(colored.store().vel(i), serial.store().vel(i)) << "index " << i;
+  }
+  EXPECT_NEAR(colored.potential_energy(), serial.potential_energy(),
+              1e-12 * std::abs(serial.potential_energy()) + 1e-15);
+}
+
+TEST(Colored, BitIdenticalTrajectory2D) {
+  expect_bit_identical_colored_trajectory<2>(/*reorder=*/true, 4);
+}
+TEST(Colored, BitIdenticalTrajectory2DNoReorder) {
+  expect_bit_identical_colored_trajectory<2>(/*reorder=*/false, 4);
+}
+TEST(Colored, BitIdenticalTrajectory3D) {
+  expect_bit_identical_colored_trajectory<3>(/*reorder=*/true, 4);
+}
+TEST(Colored, BitIdenticalTrajectory3DNoReorder) {
+  expect_bit_identical_colored_trajectory<3>(/*reorder=*/false, 3);
+}
+TEST(Colored, BitIdenticalTrajectorySingleThread) {
+  expect_bit_identical_colored_trajectory<2>(/*reorder=*/true, 1);
 }
 
 TEST(Reduction, UpdatePositionsMatchesSerial) {

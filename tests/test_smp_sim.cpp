@@ -87,7 +87,10 @@ INSTANTIATE_TEST_SUITE_P(
         Case{ReductionKind::kCritical, 3, BoundaryKind::kPeriodic},
         Case{ReductionKind::kStripe, 4, BoundaryKind::kWalls},
         Case{ReductionKind::kTranspose, 3, BoundaryKind::kPeriodic},
-        Case{ReductionKind::kSelectedAtomic, 1, BoundaryKind::kPeriodic}),
+        Case{ReductionKind::kSelectedAtomic, 1, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kColored, 4, BoundaryKind::kPeriodic},
+        Case{ReductionKind::kColored, 3, BoundaryKind::kWalls},
+        Case{ReductionKind::kColored, 1, BoundaryKind::kPeriodic}),
     [](const auto& info) {
       std::string name = to_string(info.param.kind);
       std::replace(name.begin(), name.end(), '-', '_');
@@ -155,6 +158,24 @@ TEST(SmpSim, EnergyConserved) {
   const double e0 = sim.total_energy();
   sim.run(300);
   EXPECT_NEAR(sim.total_energy(), e0, 0.02 * std::abs(e0) + 1e-9);
+}
+
+TEST(SmpSim, ColoredUsesNoAtomicsAndCountsPhaseBarriers) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  const auto init = uniform_random_particles(cfg, 400);
+  SmpSim<2> sim(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init, 4,
+                ReductionKind::kColored);
+  const auto before = sim.counters();
+  sim.run(10);
+  const auto after = sim.counters();
+  EXPECT_EQ(after.atomic_updates - before.atomic_updates, 0u);
+  EXPECT_GT(after.plain_updates - before.plain_updates, 0u);
+  EXPECT_EQ(after.colors, 2u);
+  // Each force pass pays the zeroing barrier plus one barrier between the
+  // two core color phases (no halo links in the SMP driver).
+  EXPECT_EQ(after.color_barriers - before.color_barriers, 10u);
+  EXPECT_EQ(after.barriers - before.barriers, 20u);
 }
 
 TEST(SmpSim, LinkCountMatchesSerial) {
