@@ -1,0 +1,149 @@
+// Figure 9 (extension) — nonblocking halo exchange: how much of the halo
+// swap hides behind core-link forces.  The paper's halo swaps are fully
+// synchronous ("a series of matched sendrecv calls"); the overlapped
+// schedule posts dimension-0 receives before the core-link force pass and
+// drains them after, so a message only costs wall-clock time when it is
+// still in flight once the core work runs out ("exposed").  This bench
+// measures the real host, not the cost model: per-step time and the
+// runtime's own overlapped/exposed byte split, swept over rank count and
+// blocks per process for both schedules.
+#include <sstream>
+
+#include "common.hpp"
+
+using namespace hdem;
+using namespace hdem::bench;
+
+namespace {
+
+struct Config {
+  int D;
+  int nprocs;
+  int bpp;
+};
+
+// Best-of-reps measurement: host timing on a shared machine is noisy and
+// the minimum is the least-contended run.
+perf::MeasuredRun measure_best(const perf::MeasureSpec& spec, int reps) {
+  perf::MeasuredRun best = perf::measure_run(spec);
+  for (int r = 1; r < reps; ++r) {
+    perf::MeasuredRun m = perf::measure_run(spec);
+    if (m.host_seconds < best.host_seconds) best = std::move(m);
+  }
+  return best;
+}
+
+double exposed_fraction(const perf::RunMeasurement& run) {
+  const double ov = static_cast<double>(run.agg.bytes_overlapped);
+  const double ex = static_cast<double>(run.agg.bytes_exposed);
+  return ov + ex > 0.0 ? ex / (ov + ex) : 0.0;
+}
+
+// Mean exposed wait per rank per iteration, in milliseconds.
+double exposed_ms_per_step(const perf::RunMeasurement& run) {
+  const double denom = static_cast<double>(run.nprocs) *
+                       static_cast<double>(run.iterations);
+  return static_cast<double>(run.agg.exposed_wait_ns) / 1e6 / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchContext ctx;
+  // Host-time bench: modest systems keep the oversubscribed rank sweep
+  // fast while leaving enough core work per block to hide a halo.
+  ctx.n2 = 24'000;
+  ctx.n3 = 32'000;
+  ctx.iters = 6;
+  declare_common_options(cli, ctx);
+  const auto reps =
+      cli.integer("reps", 3, "repetitions per configuration (best-of)");
+  const auto procs = cli.integer_list("procs", {2, 4, 8}, "rank counts");
+  const auto bpps = cli.integer_list("bpp", {1, 4}, "blocks per process");
+  const auto which = cli.choice("overlap", "both", {"off", "on", "both"},
+                                "which halo schedule(s) to run");
+  if (cli.finish()) return 0;
+
+  std::vector<Config> configs;
+  for (int D : {2, 3}) {
+    for (const auto p : procs) {
+      for (const auto bpp : bpps) {
+        configs.push_back({D, static_cast<int>(p), static_cast<int>(bpp)});
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "== Fig 9: overlapped halo exchange vs synchronous (host time, "
+         "rc=1.5, reordered) ==\n\n";
+  Table t({"D", "P", "B/P", "t/iter off (ms)", "t/iter on (ms)", "speedup",
+           "exposed frac", "exposed ms/step"});
+  std::ostringstream json;
+  json << "{\n  \"n2\": " << ctx.n2 << ",\n  \"n3\": " << ctx.n3
+       << ",\n  \"iterations\": " << ctx.iters << ",\n  \"results\": [";
+  bool first = true;
+  for (const auto& c : configs) {
+    perf::MeasureSpec spec;
+    spec.D = c.D;
+    spec.n = ctx.n_for(c.D);
+    spec.rc_factor = 1.5;
+    spec.mode = perf::MeasureSpec::Mode::kMp;
+    spec.nprocs = c.nprocs;
+    spec.blocks_per_proc = c.bpp;
+    spec.iterations = ctx.iters;
+
+    double t_off = 0.0, t_on = 0.0, frac = 0.0, exposed_ms = 0.0;
+    std::uint64_t ov_bytes = 0, ex_bytes = 0, waits_blocked = 0;
+    if (which != "on") {
+      spec.overlap = false;
+      t_off = measure_best(spec, static_cast<int>(reps))
+                  .host_seconds_per_iter();
+    }
+    if (which != "off") {
+      spec.overlap = true;
+      const auto m = measure_best(spec, static_cast<int>(reps));
+      t_on = m.host_seconds_per_iter();
+      frac = exposed_fraction(m.run);
+      exposed_ms = exposed_ms_per_step(m.run);
+      ov_bytes = m.run.agg.bytes_overlapped;
+      ex_bytes = m.run.agg.bytes_exposed;
+      waits_blocked = m.run.agg.waits_blocked;
+    }
+    const double speedup = t_off > 0.0 && t_on > 0.0 ? t_off / t_on : 0.0;
+    t.add_row({std::to_string(c.D), std::to_string(c.nprocs),
+               std::to_string(c.bpp),
+               t_off > 0.0 ? Table::num(t_off * 1e3, 2) : "-",
+               t_on > 0.0 ? Table::num(t_on * 1e3, 2) : "-",
+               speedup > 0.0 ? Table::num(speedup, 3) + "x" : "-",
+               t_on > 0.0 ? Table::num(100.0 * frac, 1) + "%" : "-",
+               t_on > 0.0 ? Table::num(exposed_ms, 3) : "-"});
+    json << (first ? "" : ",") << "\n    {\"D\": " << c.D
+         << ", \"nprocs\": " << c.nprocs << ", \"blocks_per_proc\": " << c.bpp
+         << ", \"seconds_per_iter_off\": " << t_off
+         << ", \"seconds_per_iter_on\": " << t_on
+         << ", \"speedup\": " << speedup
+         << ", \"exposed_fraction\": " << frac
+         << ", \"exposed_wait_ms_per_step\": " << exposed_ms
+         << ", \"bytes_overlapped\": " << ov_bytes
+         << ", \"bytes_exposed\": " << ex_bytes
+         << ", \"waits_blocked\": " << waits_blocked << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+  out << t.render() << "\n";
+  out << "Shape checks:\n"
+      << "  - exposed fraction well below 1: most dimension-0 halo bytes\n"
+      << "    arrive while core-link forces execute\n"
+      << "  - exposed wait per step shrinks with B/P at fixed P (more core\n"
+      << "    compute per message round) and the on-schedule never loses\n"
+      << "    materially to the synchronous one\n"
+      << "  - only dimension 0 can overlap (later dimensions forward\n"
+      << "    corner data), so the hidden share is bounded by dim 0's\n"
+      << "    share of halo traffic\n";
+  perf::save_artifact("BENCH_halo_overlap.json", json.str());
+  out << "Per-configuration results written to "
+         "results/BENCH_halo_overlap.json\n";
+  emit("fig9.txt", out.str());
+  return 0;
+}

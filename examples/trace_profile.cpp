@@ -23,7 +23,7 @@ namespace {
 
 void profile(const char* label, const SimConfig<2>& cfg,
              const std::vector<ParticleInit<2>>& init, int bpp, bool fused,
-             std::uint64_t steps, const char* json_path) {
+             bool overlap, std::uint64_t steps, const char* json_path) {
   trace::Tracer::global().enable(true);
   const auto layout = DecompLayout<2>::make(2, bpp);
   mp::run(2, [&](mp::Comm& comm) {
@@ -31,6 +31,7 @@ void profile(const char* label, const SimConfig<2>& cfg,
     opts.nthreads = 2;
     opts.reduction = ReductionKind::kSelectedAtomic;
     opts.fused = fused;
+    opts.overlap = overlap;
     MpSim<2> sim(cfg, layout, comm,
                  ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
     sim.run(steps);
@@ -64,6 +65,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.integer("steps", 40, "iterations"));
   const auto bpp = static_cast<int>(
       cli.integer("bpp", 8, "blocks per process (granularity)"));
+  const bool overlap =
+      cli.choice("overlap", "off", {"off", "on"},
+                 "overlap halo swaps with core-link forces") == "on";
   if (cli.finish()) return 0;
 
   SimConfig<2> cfg;
@@ -71,10 +75,10 @@ int main(int argc, char** argv) {
   cfg.seed = 31;
   const auto init = uniform_random_particles(cfg, n);
 
-  profile("per-block hybrid", cfg, init, bpp, /*fused=*/false, steps,
-          "trace_hybrid.json");
-  profile("fused hybrid (SS11)", cfg, init, bpp, /*fused=*/true, steps,
-          nullptr);
+  profile("per-block hybrid", cfg, init, bpp, /*fused=*/false, overlap,
+          steps, "trace_hybrid.json");
+  profile("fused hybrid (SS11)", cfg, init, bpp, /*fused=*/true, overlap,
+          steps, nullptr);
 
   std::printf(
       "\nThe per-block scheme opens 2 parallel regions per block per\n"

@@ -35,6 +35,11 @@ Counters& Counters::merge(const Counters& o) {
   bytes_local += o.bytes_local;
   collectives += o.collectives;
   migrated_particles += o.migrated_particles;
+  irecvs_posted += o.irecvs_posted;
+  waits_blocked += o.waits_blocked;
+  bytes_overlapped += o.bytes_overlapped;
+  bytes_exposed += o.bytes_exposed;
+  exposed_wait_ns += o.exposed_wait_ns;
   return *this;
 }
 
@@ -94,6 +99,11 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.bytes_local = after.bytes_local - before.bytes_local;
   d.collectives = after.collectives - before.collectives;
   d.migrated_particles = after.migrated_particles - before.migrated_particles;
+  d.irecvs_posted = after.irecvs_posted - before.irecvs_posted;
+  d.waits_blocked = after.waits_blocked - before.waits_blocked;
+  d.bytes_overlapped = after.bytes_overlapped - before.bytes_overlapped;
+  d.bytes_exposed = after.bytes_exposed - before.bytes_exposed;
+  d.exposed_wait_ns = after.exposed_wait_ns - before.exposed_wait_ns;
   return d;
 }
 
@@ -121,7 +131,12 @@ std::string Counters::summary() const {
      << "mp: msgs=" << msgs_sent << " bytes=" << bytes_sent
      << " local_msgs=" << msgs_local << " local_bytes=" << bytes_local
      << " collectives=" << collectives
-     << " migrated=" << migrated_particles << "\n";
+     << " migrated=" << migrated_particles << "\n"
+     << "overlap: irecvs=" << irecvs_posted
+     << " waits_blocked=" << waits_blocked
+     << " bytes_overlapped=" << bytes_overlapped
+     << " bytes_exposed=" << bytes_exposed
+     << " exposed_wait_ns=" << exposed_wait_ns << "\n";
   return os.str();
 }
 

@@ -60,6 +60,17 @@ struct Counters {
   std::uint64_t collectives = 0;       // barrier/reduce/bcast episodes
   std::uint64_t migrated_particles = 0;// particles re-homed at rebuilds
 
+  // -- nonblocking runtime (cumulative) ---------------------------------------
+  // A receive whose message had already arrived when its wait ran hid its
+  // transfer behind compute (overlapped); one whose wait had to block left
+  // the transfer on the critical path (exposed).  The split is what lets
+  // the cost model price halo traffic under the overlapped schedule.
+  std::uint64_t irecvs_posted = 0;     // nonblocking receives posted
+  std::uint64_t waits_blocked = 0;     // wait/wait_any calls that blocked
+  std::uint64_t bytes_overlapped = 0;  // received bytes complete before wait
+  std::uint64_t bytes_exposed = 0;     // received bytes blocked on at wait
+  std::uint64_t exposed_wait_ns = 0;   // nanoseconds spent blocked in waits
+
   // Accumulate another counter set (e.g. merging per-rank counters).
   // "Current" quantities (particles, links_core, ...) add as well, which is
   // the right semantics when merging disjoint ranks/blocks.

@@ -14,6 +14,17 @@
 // corner regions.  Same-rank neighbouring blocks short-circuit through a
 // local copy (tallied separately, so the performance model can price
 // intra-rank transfers at memory speed).
+//
+// The per-iteration swap is split into two phases so the driver can
+// overlap it with core-link forces: begin_swap packs and posts the first
+// dimension's sends and receives (receives land straight in the halo
+// region of each block's store — no unpack copy), and finish_swap drains
+// them and runs the remaining dimensions, which cannot start earlier
+// because they forward data received in dimension 0.  Dimension-d send
+// templates are built before dimension-d halos exist, so they never index
+// a dimension-d receive region — packing and delivery within one
+// dimension can interleave freely.  Core links only touch indices below
+// ncore, which is what makes the in-flight window safe for compute.
 #pragma once
 
 #include <cstdint>
@@ -89,28 +100,34 @@ class HaloExchanger {
   // Refresh halo positions using the templates built at the last rebuild.
   void swap_positions(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
                       Counters& counters) {
-    for (int d = 0; d < D; ++d) {
-      local_payloads_.clear();
-      for (auto& b : blocks) {
-        for (int s = 0; s < 2; ++s) {
-          auto& side = b.halo[d][s];
-          if (side.nb_block < 0) continue;
-          dispatch(comm, counters, b, d, s, side);
-        }
-      }
-      for (auto& b : blocks) {
-        for (int s = 0; s < 2; ++s) {
-          auto& side = b.halo[d][s];
-          if (side.nb_block < 0) continue;
-          const std::vector<Vec<D>> payload = collect(comm, b, d, s, side);
-          if (payload.size() != side.recv_count) {
-            throw std::logic_error("swap_positions: halo count changed");
-          }
-          auto pos = b.store.positions();
-          std::copy(payload.begin(), payload.end(),
-                    pos.begin() + static_cast<std::ptrdiff_t>(side.recv_offset));
-        }
-      }
+    begin_swap(blocks, comm, counters);
+    finish_swap(blocks, comm, counters);
+  }
+
+  // Phase 1 of the swap: pack and post dimension 0's sends and receives.
+  // Remote receives are posted directly into each block's halo storage;
+  // same-rank payloads are delivered immediately.  Between begin_swap and
+  // finish_swap the caller may compute anything that reads only core
+  // particles (indices < ncore).
+  void begin_swap(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                  Counters& counters) {
+    if (in_flight_) throw std::logic_error("begin_swap: swap already in flight");
+    index_blocks(blocks);
+    post_dim(blocks, comm, counters, 0);
+    in_flight_ = true;
+  }
+
+  // Phase 2: drain dimension 0's receives (the exposed wait, if any), then
+  // sweep the remaining dimensions, which forward dimension-0 data into
+  // the corner regions and so cannot begin until it has arrived.
+  void finish_swap(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                   Counters& counters) {
+    if (!in_flight_) throw std::logic_error("finish_swap: no swap in flight");
+    in_flight_ = false;
+    complete_dim(comm);
+    for (int d = 1; d < D; ++d) {
+      post_dim(blocks, comm, counters, d);
+      complete_dim(comm);
     }
   }
 
@@ -141,23 +158,90 @@ class HaloExchanger {
     }
   }
 
+  // Gather side.send into pack_scratch_, applying the periodic shift.
+  void pack_side(const BlockDomain<D>& b, int d,
+                 const typename BlockDomain<D>::HaloSide& side) {
+    pack_scratch_.resize(side.send.count());
+    side.send.pack(b.store.cpositions(), std::span<Vec<D>>(pack_scratch_));
+    if (side.shift != 0.0) {
+      for (auto& x : pack_scratch_) x[d] += side.shift;
+    }
+  }
+
+  // Post one dimension's exchange: receives first (straight into halo
+  // storage), then pack and send every side.  Same-rank payloads are
+  // copied across immediately — their destination regions belong to this
+  // dimension, which no dimension-d send template can index.
+  void post_dim(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                Counters& counters, int d) {
+    reqs_.clear();
+    expected_bytes_.clear();
+    for (auto& b : blocks) {
+      for (int s = 0; s < 2; ++s) {
+        auto& side = b.halo[d][s];
+        if (side.nb_block < 0 || side.nb_rank == comm.rank()) continue;
+        auto dest = b.store.positions().subspan(side.recv_offset,
+                                                side.recv_count);
+        reqs_.push_back(comm.template irecv<Vec<D>>(
+            side.nb_rank, halo_tag(b.index, d, s), dest));
+        expected_bytes_.push_back(side.recv_count * sizeof(Vec<D>));
+      }
+    }
+    for (auto& b : blocks) {
+      for (int s = 0; s < 2; ++s) {
+        auto& side = b.halo[d][s];
+        if (side.nb_block < 0) continue;
+        pack_side(b, d, side);
+        const int dest_side = 1 - s;
+        if (side.nb_rank == comm.rank()) {
+          ++counters.msgs_local;
+          counters.bytes_local += pack_scratch_.size() * sizeof(Vec<D>);
+          auto& nb = blocks[local_of_.at(side.nb_block)];
+          const auto& dest = nb.halo[d][dest_side];
+          if (pack_scratch_.size() != dest.recv_count) {
+            throw std::logic_error("halo swap: halo count changed");
+          }
+          auto pos = nb.store.positions();
+          std::copy(pack_scratch_.begin(), pack_scratch_.end(),
+                    pos.begin() + static_cast<std::ptrdiff_t>(dest.recv_offset));
+        } else {
+          comm.template isend<Vec<D>>(side.nb_rank,
+                                      halo_tag(side.nb_block, d, dest_side),
+                                      pack_scratch_);
+        }
+      }
+    }
+  }
+
+  // Complete the posted dimension: wait on every receive (tallying
+  // overlapped vs exposed bytes inside the communicator) and verify the
+  // neighbour still sends the template-sized payload.
+  void complete_dim(mp::Comm& comm) {
+    comm.wait_all(reqs_);
+    for (std::size_t i = 0; i < reqs_.size(); ++i) {
+      if (reqs_[i].bytes() != expected_bytes_[i]) {
+        throw std::logic_error("halo swap: halo count changed");
+      }
+    }
+    reqs_.clear();
+    expected_bytes_.clear();
+  }
+
   // Pack side.send (applying the shift) and hand the payload to the
   // destination: an mp message for remote blocks, an in-memory stash for
-  // blocks of the same rank.
+  // blocks of the same rank.  Build-time path — halo storage does not
+  // exist yet, so payloads buffer until phase B appends them.
   void dispatch(mp::Comm& comm, Counters& counters, const BlockDomain<D>& b,
                 int d, int s, const typename BlockDomain<D>::HaloSide& side) {
-    std::vector<Vec<D>> payload = side.send.pack(b.store.cpositions());
-    if (side.shift != 0.0) {
-      for (auto& x : payload) x[d] += side.shift;
-    }
+    pack_side(b, d, side);
     const int dest_side = 1 - s;
     if (side.nb_rank == comm.rank()) {
       ++counters.msgs_local;
-      counters.bytes_local += payload.size() * sizeof(Vec<D>);
-      local_payloads_[key(side.nb_block, d, dest_side)] = std::move(payload);
+      counters.bytes_local += pack_scratch_.size() * sizeof(Vec<D>);
+      local_payloads_[key(side.nb_block, d, dest_side)] = pack_scratch_;
     } else {
       comm.send(side.nb_rank, halo_tag(side.nb_block, d, dest_side),
-                std::span<const Vec<D>>(payload));
+                std::span<const Vec<D>>(pack_scratch_));
     }
   }
 
@@ -188,6 +272,12 @@ class HaloExchanger {
   double rc_;
   std::unordered_map<int, std::size_t> local_of_;
   std::unordered_map<std::uint64_t, std::vector<Vec<D>>> local_payloads_;
+  // Swap-phase state, reused across iterations (no per-message allocation
+  // on the hot path).
+  std::vector<Vec<D>> pack_scratch_;
+  std::vector<mp::Request> reqs_;
+  std::vector<std::size_t> expected_bytes_;
+  bool in_flight_ = false;
 };
 
 }  // namespace hdem

@@ -54,6 +54,12 @@ class MpSim {
     // the time).  Only meaningful for the hybrid scheme with an
     // atomic-family reduction.
     bool fused = false;
+    // Overlap halo communication with core-link forces: initiate every
+    // block's swap, compute core links (which never read halo data) while
+    // messages are in flight, complete the swap, then compute halo links.
+    // Trajectories are bit-identical to the synchronous schedule — within
+    // each block core links are accumulated before halo links either way.
+    bool overlap = false;
   };
 
   MpSim(const SimConfig<D>& cfg, const DecompLayout<D>& layout,
@@ -126,16 +132,34 @@ class MpSim {
     trace::Scope iteration(trace::Phase::kIteration, comm_->rank());
     {
       trace::Scope scope(trace::Phase::kHaloSwap, comm_->rank());
-      halo_.swap_positions(blocks_, *comm_, counters_);
+      halo_.begin_swap(blocks_, *comm_, counters_);
+    }
+    if (!opts_.overlap) {
+      // Synchronous schedule: complete the swap before any force work.
+      // The kHaloSwap / kHaloWait trace split stays visible either way.
+      trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
+      halo_.finish_swap(blocks_, *comm_, counters_);
     }
     auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
 
     potential_ = 0.0;
     double max_v = 0.0;
     if (team_ && opts_.fused) {
-      {
+      if (opts_.overlap) {
+        double pe_core = 0.0;
+        {
+          trace::Scope scope(trace::Phase::kForce, comm_->rank());
+          pe_core = fused_force_pass(ForceSection::kCore);
+        }
+        {
+          trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
+          halo_.finish_swap(blocks_, *comm_, counters_);
+        }
         trace::Scope scope(trace::Phase::kForce, comm_->rank());
-        potential_ = fused_force_pass();
+        potential_ = pe_core + fused_force_pass(ForceSection::kHalo);
+      } else {
+        trace::Scope scope(trace::Phase::kForce, comm_->rank());
+        potential_ = fused_force_pass(ForceSection::kAll);
       }
       {
         trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
@@ -147,35 +171,87 @@ class MpSim {
       ++counters_.iterations;
       return;
     }
-    for (std::size_t k = 0; k < blocks_.size(); ++k) {
-      auto& b = blocks_[k];
-      if (team_) {
-        {
-          trace::Scope scope(trace::Phase::kForce, comm_->rank());
-          potential_ += dispatch_force_pass<D>(accs_[k], *team_, b.links,
-                                               b.store, model_, disp,
-                                               &counters_);
-        }
-        trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
-        const double v = smp_update_positions(*team_, b.store, b.ncore,
-                                              cfg_.dt, cfg_.gravity,
-                                              boundary_, &counters_);
-        if (v > max_v) max_v = v;
-      } else {
-        {
-          trace::Scope scope(trace::Phase::kForce, comm_->rank());
+    if (opts_.overlap) {
+      // Every block's core-link pass runs while halo messages are in
+      // flight; halo-link passes and updates follow the completed swap.
+      pe_scratch_.assign(blocks_.size() * 2, 0.0);
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        auto& b = blocks_[k];
+        trace::Scope scope(trace::Phase::kForce, comm_->rank());
+        if (team_) {
+          pe_scratch_[2 * k] = dispatch_force_pass<D>(
+              accs_[k], *team_, b.links, b.store, model_, disp, &counters_,
+              ForceSection::kCore);
+        } else {
           zero_forces(b.store);
-          potential_ += accumulate_forces<D>(b.links.core(), b.store, model_,
-                                             disp, /*update_both=*/true, 1.0,
-                                             &counters_);
-          potential_ += accumulate_forces<D>(b.links.halo(), b.store, model_,
-                                             disp, /*update_both=*/false, 0.5,
-                                             &counters_);
+          pe_scratch_[2 * k] = accumulate_forces<D>(
+              b.links.core(), b.store, model_, disp, /*update_both=*/true,
+              1.0, &counters_);
+        }
+      }
+      {
+        trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
+        halo_.finish_swap(blocks_, *comm_, counters_);
+      }
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        auto& b = blocks_[k];
+        {
+          trace::Scope scope(trace::Phase::kForce, comm_->rank());
+          if (team_) {
+            pe_scratch_[2 * k + 1] = dispatch_force_pass<D>(
+                accs_[k], *team_, b.links, b.store, model_, disp, &counters_,
+                ForceSection::kHalo);
+          } else {
+            pe_scratch_[2 * k + 1] = accumulate_forces<D>(
+                b.links.halo(), b.store, model_, disp, /*update_both=*/false,
+                0.5, &counters_);
+          }
         }
         trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
-        const double v = kick_drift(b.store, b.ncore, cfg_.dt, cfg_.gravity,
-                                    boundary_, &counters_);
+        const double v =
+            team_ ? smp_update_positions(*team_, b.store, b.ncore, cfg_.dt,
+                                         cfg_.gravity, boundary_, &counters_)
+                  : kick_drift(b.store, b.ncore, cfg_.dt, cfg_.gravity,
+                               boundary_, &counters_);
         if (v > max_v) max_v = v;
+      }
+      // Sum per-block energies in the synchronous schedule's core-then-
+      // halo block order, so the reported potential is bit-identical too.
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        potential_ += pe_scratch_[2 * k];
+        potential_ += pe_scratch_[2 * k + 1];
+      }
+    } else {
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        auto& b = blocks_[k];
+        if (team_) {
+          {
+            trace::Scope scope(trace::Phase::kForce, comm_->rank());
+            potential_ += dispatch_force_pass<D>(accs_[k], *team_, b.links,
+                                                 b.store, model_, disp,
+                                                 &counters_);
+          }
+          trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
+          const double v = smp_update_positions(*team_, b.store, b.ncore,
+                                                cfg_.dt, cfg_.gravity,
+                                                boundary_, &counters_);
+          if (v > max_v) max_v = v;
+        } else {
+          {
+            trace::Scope scope(trace::Phase::kForce, comm_->rank());
+            zero_forces(b.store);
+            potential_ += accumulate_forces<D>(b.links.core(), b.store, model_,
+                                               disp, /*update_both=*/true, 1.0,
+                                               &counters_);
+            potential_ += accumulate_forces<D>(b.links.halo(), b.store, model_,
+                                               disp, /*update_both=*/false, 0.5,
+                                               &counters_);
+          }
+          trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
+          const double v = kick_drift(b.store, b.ncore, cfg_.dt, cfg_.gravity,
+                                      boundary_, &counters_);
+          if (v > max_v) max_v = v;
+        }
       }
     }
 
@@ -275,6 +351,11 @@ class MpSim {
     c.msgs_sent = mc.msgs_sent;
     c.bytes_sent = mc.bytes_sent;
     c.collectives = mc.collectives;
+    c.irecvs_posted = mc.irecvs_posted;
+    c.waits_blocked = mc.waits_blocked;
+    c.bytes_overlapped = mc.bytes_overlapped;
+    c.bytes_exposed = mc.bytes_exposed;
+    c.exposed_wait_ns = mc.exposed_wait_ns;
     if (team_) {
       c.parallel_regions = team_->regions();
       c.barriers = team_->barriers();
@@ -291,14 +372,25 @@ class MpSim {
  private:
   void prepare_team_accumulators() {
     // Global prefix offsets of each block's links / core particles, used
-    // by the fused scheme's single static partitions.
+    // by the fused scheme's single static partitions.  The overlapped
+    // fused schedule partitions the core-link and halo-link totals
+    // separately, so those prefixes are kept as well.
     link_offset_.assign(blocks_.size() + 1, 0);
     core_offset_.assign(blocks_.size() + 1, 0);
+    core_link_offset_.assign(blocks_.size() + 1, 0);
+    halo_link_offset_.assign(blocks_.size() + 1, 0);
     for (std::size_t k = 0; k < blocks_.size(); ++k) {
       link_offset_[k + 1] =
           link_offset_[k] + static_cast<std::int64_t>(blocks_[k].links.size());
       core_offset_[k + 1] =
           core_offset_[k] + static_cast<std::int64_t>(blocks_[k].ncore);
+      core_link_offset_[k + 1] =
+          core_link_offset_[k] +
+          static_cast<std::int64_t>(blocks_[k].links.n_core);
+      halo_link_offset_[k + 1] =
+          halo_link_offset_[k] +
+          static_cast<std::int64_t>(blocks_[k].links.size() -
+                                    blocks_[k].links.n_core);
     }
     for (std::size_t k = 0; k < blocks_.size(); ++k) {
       auto& b = blocks_[k];
@@ -312,6 +404,14 @@ class MpSim {
                                  std::span<const Link>(b.links.links),
                                  b.links.n_core, b.ncore, link_offset_[k],
                                  link_offset_.back());
+                if (opts_.overlap) {
+                  a.mark_global_split(team_->size(),
+                                      std::span<const Link>(b.links.links),
+                                      b.links.n_core, core_link_offset_[k],
+                                      core_link_offset_.back(),
+                                      halo_link_offset_[k],
+                                      halo_link_offset_.back());
+                }
               } else if constexpr (std::is_same_v<T, ColoredAccumulator<D>>) {
                 // Unreachable: the Options validation rejects fused+colored
                 // (one global link partition cannot honour per-block phase
@@ -333,35 +433,52 @@ class MpSim {
   // barrier, then each thread walks its share of the single global link
   // range, dispatching into the owning blocks.  (Section 11: "a single
   // parallel loop over all links in all blocks rather than one loop per
-  // block".)
-  double fused_force_pass() {
+  // block".)  Under the overlapped schedule the pass runs twice — once
+  // over the global core-link range while halos are in flight, once over
+  // the global halo-link range afterwards — with each section partitioned
+  // by its own prefix offsets; the kHalo pass joins the accumulation
+  // without re-zeroing.
+  double fused_force_pass(ForceSection section = ForceSection::kAll) {
     const int t_count = team_->size();
     std::vector<double> pe(static_cast<std::size_t>(t_count) * 8, 0.0);
     std::vector<std::uint64_t> contacts(static_cast<std::size_t>(t_count) * 8,
                                         0);
-    const std::int64_t total = link_offset_.back();
+    const std::vector<std::int64_t>& offs =
+        section == ForceSection::kAll
+            ? link_offset_
+            : (section == ForceSection::kCore ? core_link_offset_
+                                              : halo_link_offset_);
+    const std::int64_t total = offs.back();
     team_->parallel([&](int tid) {
-      for (auto& b : blocks_) {
-        const auto r = smp::static_block(
-            0, static_cast<std::int64_t>(b.store.size()), tid, t_count);
-        auto frc = b.store.forces();
-        for (std::int64_t i = r.lo; i < r.hi; ++i) {
-          frc[static_cast<std::size_t>(i)] = Vec<D>{};
+      if (section != ForceSection::kHalo) {
+        for (auto& b : blocks_) {
+          const auto r = smp::static_block(
+              0, static_cast<std::int64_t>(b.store.size()), tid, t_count);
+          auto frc = b.store.forces();
+          for (std::int64_t i = r.lo; i < r.hi; ++i) {
+            frc[static_cast<std::size_t>(i)] = Vec<D>{};
+          }
         }
+        team_->barrier();
       }
-      team_->barrier();
       const auto g = smp::static_block(0, total, tid, t_count);
       double my_pe = 0.0;
       std::uint64_t my_contacts = 0;
       for (std::size_t k = 0; k < blocks_.size(); ++k) {
-        const std::int64_t lo = std::max(g.lo, link_offset_[k]);
-        const std::int64_t hi = std::min(g.hi, link_offset_[k + 1]);
+        const std::int64_t lo = std::max(g.lo, offs[k]);
+        const std::int64_t hi = std::min(g.hi, offs[k + 1]);
         if (lo >= hi) continue;
         auto& b = blocks_[k];
+        // Block-local link indices: a kHalo range starts at the block's
+        // halo section, the other sections start at zero.
+        const std::int64_t base =
+            section == ForceSection::kHalo
+                ? static_cast<std::int64_t>(b.links.n_core)
+                : 0;
         std::visit(
             [&](auto& a) {
               my_pe += fused_force_range<D>(
-                  b.links, lo - link_offset_[k], hi - link_offset_[k],
+                  b.links, base + (lo - offs[k]), base + (hi - offs[k]),
                   b.store, model_, a, tid, my_contacts);
             },
             accs_[k]);
@@ -429,9 +546,15 @@ class MpSim {
   std::unique_ptr<smp::ThreadTeam> team_;
   std::vector<AnyAccumulator<D>> accs_;
   std::vector<BlockDomain<D>> blocks_;
-  // Global prefix offsets for the fused scheme's single static partitions.
+  // Global prefix offsets for the fused scheme's single static partitions
+  // (whole list, plus the overlapped schedule's per-section partitions).
   std::vector<std::int64_t> link_offset_;
   std::vector<std::int64_t> core_offset_;
+  std::vector<std::int64_t> core_link_offset_;
+  std::vector<std::int64_t> halo_link_offset_;
+  // Per-block (core, halo) potential-energy partials for the overlapped
+  // schedule, reused across steps.
+  std::vector<double> pe_scratch_;
   double potential_ = 0.0;
   double drift_ = 0.0;
   Counters counters_;

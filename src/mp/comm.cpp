@@ -24,6 +24,103 @@ RawMessage Comm::recv_msg(int src, int tag) {
   return world_->mailbox(rank_).pop(src, tag);
 }
 
+Request Comm::isend_bytes(int dst, int tag, std::span<const std::byte> data) {
+  send_bytes(dst, tag, data);  // buffered: complete on return
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  req.done_ = true;
+  req.peer_ = dst;
+  req.tag_ = tag;
+  req.bytes_ = data.size();
+  return req;
+}
+
+Request Comm::irecv_bytes(int src, int tag, std::span<std::byte> out) {
+  if (src < 0 || src >= size()) throw std::out_of_range("Comm::irecv_bytes: src");
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.ticket_ = world_->mailbox(rank_).post(src, tag);
+  req.out_ = out.data();
+  req.capacity_ = out.size();
+  ++counters_.irecvs_posted;
+  return req;
+}
+
+void Comm::deliver(Request& req, RawMessage msg) {
+  if (msg.payload.size() > req.capacity_) {
+    throw std::length_error("Comm: irecv buffer too small for message");
+  }
+  std::memcpy(req.out_, msg.payload.data(), msg.payload.size());
+  req.bytes_ = msg.payload.size();
+  req.done_ = true;
+  req.ticket_.reset();
+}
+
+bool Comm::test(Request& req) {
+  if (req.done_ || req.kind_ != Request::Kind::kRecv) return true;
+  Mailbox& box = world_->mailbox(rank_);
+  if (!box.ready(*req.ticket_)) return false;
+  deliver(req, box.claim(*req.ticket_));
+  counters_.bytes_overlapped += req.bytes_;
+  return true;
+}
+
+void Comm::wait(Request& req) {
+  if (req.done_ || req.kind_ != Request::Kind::kRecv) return;
+  Mailbox& box = world_->mailbox(rank_);
+  if (box.ready(*req.ticket_)) {
+    deliver(req, box.claim(*req.ticket_));
+    counters_.bytes_overlapped += req.bytes_;
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  RawMessage msg = box.claim(*req.ticket_);
+  const auto t1 = std::chrono::steady_clock::now();
+  deliver(req, std::move(msg));
+  ++counters_.waits_blocked;
+  counters_.bytes_exposed += req.bytes_;
+  counters_.exposed_wait_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+std::size_t Comm::wait_any(std::span<Request> reqs) {
+  // Only receives can be active (buffered sends complete at isend).  Fast
+  // path: a receive whose message already arrived counts as overlapped.
+  std::vector<std::shared_ptr<RecvTicket>> tickets(reqs.size());
+  bool any_active = false;
+  Mailbox& box = world_->mailbox(rank_);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Request& r = reqs[i];
+    if (!r.active()) continue;
+    if (!box.ready(*r.ticket_)) {
+      tickets[i] = r.ticket_;
+      any_active = true;
+      continue;
+    }
+    deliver(r, box.claim(*r.ticket_));
+    counters_.bytes_overlapped += r.bytes_;
+    return i;
+  }
+  if (!any_active) return kNoRequest;
+  // All remaining receives are still in flight: block until one arrives.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t idx = box.claim_any(tickets);
+  const auto t1 = std::chrono::steady_clock::now();
+  Request& r = reqs[idx];
+  deliver(r, box.claim(*r.ticket_));
+  ++counters_.waits_blocked;
+  counters_.bytes_exposed += r.bytes_;
+  counters_.exposed_wait_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return idx;
+}
+
+void Comm::wait_all(std::span<Request> reqs) {
+  for (Request& r : reqs) wait(r);
+}
+
 void Comm::barrier() {
   ++counters_.collectives;
   world_->barrier();

@@ -1,17 +1,26 @@
 // Message-passing substrate, part 2: the per-rank communicator.
 //
 // Mirrors the slice of MPI the paper's code uses: point-to-point send /
-// recv / sendrecv with tags, barrier, reductions, broadcast, gather, and
-// an all-to-all used by particle migration.  All payloads are trivially
+// recv / sendrecv with tags, nonblocking isend / irecv with test / wait /
+// wait_any / wait_all, barrier, reductions, broadcast, gather, and an
+// all-to-all used by particle migration.  All payloads are trivially
 // copyable element arrays.  Every send is tallied per destination rank, so
 // the performance model can split traffic into intra-node and inter-node
 // portions for any rank-to-node mapping.
+//
+// Nonblocking receives carry accounting the cost model needs: a receive
+// whose message has already arrived when its wait runs counts its bytes as
+// *overlapped* (the transfer hid behind compute), while a wait that has to
+// block counts them as *exposed* and records the nanoseconds spent
+// blocked.  Sends are buffered, so isend completes immediately.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -27,6 +36,33 @@ enum class Op : std::uint8_t { kSum, kMin, kMax };
 inline constexpr int kTagGather = -1;
 inline constexpr int kTagBcast = -2;
 inline constexpr int kTagAlltoall = -3;
+
+// Handle for a nonblocking operation.  Default-constructed requests are
+// inactive; test/wait on them succeed immediately.  A receive request
+// completes exactly once — its payload is copied into the caller's buffer
+// by the test/wait that first observes the message.
+class Request {
+ public:
+  Request() = default;
+
+  bool active() const { return kind_ != Kind::kNone && !done_; }
+  bool done() const { return done_; }
+  // Payload size delivered by a completed receive (bytes).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  friend class Comm;
+  enum class Kind : std::uint8_t { kNone, kSend, kRecv };
+
+  Kind kind_ = Kind::kNone;
+  bool done_ = false;
+  int peer_ = -1;
+  int tag_ = 0;
+  std::shared_ptr<RecvTicket> ticket_;  // receive only
+  std::byte* out_ = nullptr;            // receive destination
+  std::size_t capacity_ = 0;            // bytes available at out_
+  std::size_t bytes_ = 0;               // bytes delivered on completion
+};
 
 class Comm {
  public:
@@ -77,6 +113,55 @@ class Comm {
     send(dst, send_tag, data);
     return recv<T>(src, recv_tag);
   }
+
+  // ---- nonblocking point to point ----------------------------------------
+  // Returned by wait_any when no active request remains.
+  static constexpr std::size_t kNoRequest =
+      std::numeric_limits<std::size_t>::max();
+
+  // Buffered send: the payload is copied out before returning, so the
+  // request completes immediately (MPI eager mode).
+  Request isend_bytes(int dst, int tag, std::span<const std::byte> data);
+
+  template <class T>
+  Request isend(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend_bytes(dst, tag,
+                       {reinterpret_cast<const std::byte*>(data.data()),
+                        data.size_bytes()});
+  }
+
+  // Post a receive into caller storage.  The payload is copied into `out`
+  // by the test/wait that completes the request; `out` must stay valid
+  // until then.  Matching shares the blocking calls' (src, tag) channels
+  // and posting order, so isend / irecv interleave FIFO with send / recv.
+  Request irecv_bytes(int src, int tag, std::span<std::byte> out);
+
+  template <class T>
+  Request irecv(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(src, tag,
+                       {reinterpret_cast<std::byte*>(out.data()),
+                        out.size_bytes()});
+  }
+
+  // True once the request is complete; never blocks.  Completing a receive
+  // here (message already arrived) counts its bytes as overlapped.
+  bool test(Request& req);
+
+  // Block until the request completes.  A wait that finds the message
+  // already delivered tallies bytes_overlapped; one that has to block
+  // tallies bytes_exposed plus the nanoseconds spent blocked.
+  void wait(Request& req);
+
+  // Block until some active request in `reqs` completes; returns its
+  // index, or kNoRequest if none is active.  Completed requests are
+  // skipped, so draining a batch by repeated wait_any visits every request
+  // exactly once (no starvation: arrival order, not index order, decides).
+  std::size_t wait_any(std::span<Request> reqs);
+
+  // Complete every request in `reqs`.
+  void wait_all(std::span<Request> reqs);
 
   // ---- collectives ---------------------------------------------------------
   void barrier();
@@ -167,6 +252,8 @@ class Comm {
   const Counters& counters() const { return counters_; }
   const std::vector<std::uint64_t>& bytes_to() const { return bytes_to_; }
   const std::vector<std::uint64_t>& msgs_to() const { return msgs_to_; }
+  // Messages delivered to this rank but not yet received (leak checks).
+  std::size_t pending() const { return world_->mailbox(rank_).pending(); }
 
  private:
   template <class T>
@@ -178,6 +265,9 @@ class Comm {
     }
     return a;
   }
+
+  // Copy a fulfilled ticket's message into the request's buffer.
+  void deliver(Request& req, RawMessage msg);
 
   World* world_;
   int rank_;

@@ -7,20 +7,63 @@ namespace hdem::mp {
 void Mailbox::push(RawMessage msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(msg));
+    Channel& ch = channels_[key(msg.src, msg.tag)];
+    // A channel never holds ready messages and waiters at the same time:
+    // push drains the earliest waiter first, and post only enqueues itself
+    // when no ready message exists.
+    if (!ch.waiters.empty()) {
+      RecvTicket& t = *ch.waiters.front();
+      t.msg = std::move(msg);
+      t.fulfilled = true;
+      ch.waiters.pop_front();
+      ++unclaimed_;
+    } else {
+      ch.ready.push_back(std::move(msg));
+      ++queued_;
+    }
   }
   cv_.notify_all();
 }
 
 RawMessage Mailbox::pop(int src, int tag) {
+  auto ticket = post(src, tag);
+  return claim(*ticket);
+}
+
+std::shared_ptr<RecvTicket> Mailbox::post(int src, int tag) {
+  auto ticket = std::make_shared<RecvTicket>();
+  std::lock_guard<std::mutex> lock(mu_);
+  Channel& ch = channels_[key(src, tag)];
+  if (!ch.ready.empty()) {
+    ticket->msg = std::move(ch.ready.front());
+    ticket->fulfilled = true;
+    ch.ready.pop_front();
+    --queued_;
+    ++unclaimed_;
+  } else {
+    ch.waiters.push_back(ticket);
+  }
+  return ticket;
+}
+
+bool Mailbox::ready(const RecvTicket& ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticket.fulfilled;
+}
+
+RawMessage Mailbox::claim(RecvTicket& ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return ticket.fulfilled; });
+  --unclaimed_;
+  return std::move(ticket.msg);
+}
+
+std::size_t Mailbox::claim_any(
+    std::span<const std::shared_ptr<RecvTicket>> tickets) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        RawMessage out = std::move(*it);
-        queue_.erase(it);
-        return out;
-      }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (tickets[i] && tickets[i]->fulfilled) return i;
     }
     cv_.wait(lock);
   }
@@ -28,7 +71,7 @@ RawMessage Mailbox::pop(int src, int tag) {
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_ + unclaimed_;
 }
 
 World::World(int nranks) {

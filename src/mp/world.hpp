@@ -6,6 +6,12 @@
 // (source, tag) matching and per-pair FIFO ordering — the semantics an MPI
 // port of this code relies on.  Sends are buffered (copy-and-return, like
 // MPI eager mode), so matched sendrecv patterns cannot deadlock.
+//
+// Matching is channel-indexed: each (src, tag) pair owns its own queue of
+// ready messages and its own queue of posted receives, so delivery and
+// matching are O(1) in the number of unrelated pending messages, and a
+// rank blocked in claim_any wakes only to flag checks, never to a scan of
+// the whole mailbox.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +20,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace hdem::mp {
@@ -24,21 +32,63 @@ struct RawMessage {
   std::vector<std::byte> payload;
 };
 
-// One rank's incoming message queue.  push() never blocks; pop() blocks
-// until a message matching (src, tag) exists and removes the *earliest*
-// such message, preserving per-(src, tag) FIFO order.
+// A posted receive.  push() fulfils tickets in posting order (MPI's
+// posted-receive matching rule); the poster later claims the message.
+// Guarded by the owning Mailbox's mutex.
+struct RecvTicket {
+  bool fulfilled = false;
+  RawMessage msg;
+};
+
+// One rank's incoming message queue.  push() never blocks; receives post a
+// ticket on the (src, tag) channel and claim it once fulfilled.  Within a
+// channel, messages match tickets strictly in posting order, so blocking
+// and nonblocking receives interleave with per-(src, tag) FIFO semantics.
 class Mailbox {
  public:
   void push(RawMessage msg);
+
+  // Blocking matched receive: post(src, tag) then claim().
   RawMessage pop(int src, int tag);
 
-  // Number of queued messages (diagnostics / leak checks in tests).
+  // Post a receive on channel (src, tag).  If a matching message is
+  // already queued the ticket comes back fulfilled.
+  std::shared_ptr<RecvTicket> post(int src, int tag);
+
+  // Has the ticket's message arrived?  Never blocks.
+  bool ready(const RecvTicket& ticket) const;
+
+  // Take the ticket's message, blocking until it is fulfilled.  Each
+  // ticket must be claimed exactly once.
+  RawMessage claim(RecvTicket& ticket);
+
+  // Block until any of `tickets` is fulfilled; returns the index of one
+  // that is (without claiming it).  At least one entry must be non-null
+  // and unclaimed.
+  std::size_t claim_any(
+      std::span<const std::shared_ptr<RecvTicket>> tickets);
+
+  // Messages delivered but not yet claimed by any receive: queued on a
+  // channel with no posted ticket, or sitting in a fulfilled ticket that
+  // has not been claimed.  Zero after clean teardown (leak checks).
   std::size_t pending() const;
 
  private:
+  struct Channel {
+    std::deque<RawMessage> ready;                     // unmatched messages
+    std::deque<std::shared_ptr<RecvTicket>> waiters;  // unmatched receives
+  };
+  // (src, tag) → channel key; tags may be negative (internal collectives).
+  static std::uint64_t key(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<RawMessage> queue_;
+  std::unordered_map<std::uint64_t, Channel> channels_;
+  std::size_t queued_ = 0;     // messages across all channels' ready queues
+  std::size_t unclaimed_ = 0;  // fulfilled tickets not yet claimed
 };
 
 // State shared by all ranks of one run: the mailboxes and a central

@@ -154,13 +154,29 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
   // ranks_per_node), and intra-node transfers ride the saturating memory
   // system.  Message latencies are CPU overhead, paid per rank.
   const double rpn = std::max(1, layout.ranks_per_node);
-  out.comm = (ts.msgs_intra * machine.lat_intra +
-              ts.bytes_intra * saturation / std::max(machine.bw_intra, 1.0) +
-              ts.msgs_inter * machine.lat_inter +
-              ts.bytes_inter * rpn / std::max(machine.bw_inter, 1.0)) *
-             layout.comm_scale /
-             (static_cast<double>(run.nprocs) *
-              static_cast<double>(run.iterations));
+  const double p2p_scale =
+      layout.comm_scale / (static_cast<double>(run.nprocs) *
+                           static_cast<double>(run.iterations));
+  const double p2p_latency =
+      (ts.msgs_intra * machine.lat_intra + ts.msgs_inter * machine.lat_inter) *
+      p2p_scale;
+  const double p2p_bytes =
+      (ts.bytes_intra * saturation / std::max(machine.bw_intra, 1.0) +
+       ts.bytes_inter * rpn / std::max(machine.bw_inter, 1.0)) *
+      p2p_scale;
+  out.comm = p2p_latency + p2p_bytes;
+  // Nonblocking overlap: the measured overlapped/exposed byte split says
+  // what fraction of halo transfer time the schedule hid behind core-link
+  // compute.  Hide that share of the byte cost (transfer time overlaps;
+  // per-message latency is CPU overhead and never does), capped by the
+  // compute term — there is nothing to hide behind past that.
+  const double ov_bytes = static_cast<double>(run.agg.bytes_overlapped);
+  const double ex_bytes = static_cast<double>(run.agg.bytes_exposed);
+  if (run.overlap && ov_bytes + ex_bytes > 0.0) {
+    const double overlap_fraction = ov_bytes / (ov_bytes + ex_bytes);
+    out.comm_hidden = std::min(p2p_bytes * overlap_fraction, out.compute);
+    out.comm -= out.comm_hidden;
+  }
   // Same-rank block-to-block halo copies: the transfer count is a
   // per-block quantity (sync_scale); the byte volume scales with block
   // surface (comm_scale).  Bytes move at node-memory speed, shared by the

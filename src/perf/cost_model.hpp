@@ -27,6 +27,11 @@ struct RunMeasurement {
   int nprocs = 1;
   int nthreads = 1;
   int nblocks = 1;
+  // True when the run used the overlapped halo schedule.  The synchronous
+  // schedule also records overlapped bytes (buffered sends may land before
+  // the immediately-following wait), but nothing hides behind compute
+  // there, so the model only credits the split when this is set.
+  bool overlap = false;
   std::uint64_t iterations = 0;
   Counters agg;
   // Per-rank counters (message-passing runs only) — the raw material for
@@ -46,6 +51,10 @@ struct CostBreakdown {
   double reduction = 0.0;  // private-array zero+merge traffic
   double sync = 0.0;       // fork/join + barriers + criticals
   double comm = 0.0;       // halo swaps, migration, collectives
+  // Halo byte cost hidden behind core-link compute by the overlapped
+  // schedule (measured overlapped/exposed split).  Informational: comm is
+  // already net of this, so it does not enter total().
+  double comm_hidden = 0.0;
   double total() const {
     return compute + memory + atomic + reduction + sync + comm;
   }

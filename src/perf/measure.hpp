@@ -39,6 +39,7 @@ struct MeasureSpec {
   int blocks_per_proc = 1;
   ReductionKind reduction = ReductionKind::kSelectedAtomic;
   bool fused = false;  // hybrid only: Section 11 fused link loop
+  bool overlap = false;  // mp/hybrid: overlap halo swaps with core forces
   // < 1 confines all particles to the bottom fraction of the box (the
   // clustered, load-imbalanced workload class the paper targets).
   double cluster_fraction = 1.0;
@@ -85,6 +86,7 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
   out.run.reordered = spec.reorder;
   out.run.nprocs = spec.nprocs;
   out.run.nthreads = spec.nthreads;
+  out.run.overlap = spec.overlap;
   out.run.iterations = spec.iterations;
 
   switch (spec.mode) {
@@ -129,6 +131,7 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
           spec.mode == MeasureSpec::Mode::kHybrid ? spec.nthreads : 1;
       opts.reduction = spec.reduction;
       opts.fused = spec.fused;
+      opts.overlap = spec.overlap;
       mp::run(p, [&](mp::Comm& comm) {
         MpSim<D> sim(cfg, layout, comm, model, init, opts);
         sim.step();

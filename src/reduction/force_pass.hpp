@@ -33,21 +33,49 @@ struct alignas(64) PadSlot {
 };
 }  // namespace detail
 
+// Which slice of the link list a force pass traverses.  The overlapped
+// halo schedule runs one kCore pass while halo messages are in flight
+// (core links never touch halo data) and one kHalo pass after the swap
+// completes; kAll is the classic single-pass schedule.  Per section the
+// static partitions are identical in both schedules, so a kCore pass
+// followed by a kHalo pass accumulates every force in exactly the same
+// per-thread order as one kAll pass.
+enum class ForceSection : std::uint8_t { kAll, kCore, kHalo };
+
 // Returns the potential energy of the traversed links (core links at full
-// weight, replicated core-halo links at half weight).
+// weight, replicated core-halo links at half weight).  A kHalo pass joins
+// an ongoing accumulation: it skips the force zeroing (the kCore pass did
+// it) and adds the halo-link contributions on top.
 template <int D, class Model, class Disp, class Accum>
 double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
                       ParticleStore<D>& store, const Model& model,
-                      Disp&& disp, Accum& acc, Counters* counters = nullptr) {
+                      Disp&& disp, Accum& acc, Counters* counters = nullptr,
+                      ForceSection section = ForceSection::kAll) {
   const int t_count = team.size();
   std::vector<detail::PadSlot> slots(static_cast<std::size_t>(t_count));
   const auto n = static_cast<std::int64_t>(store.size());
   const auto n_core_links = static_cast<std::int64_t>(list.n_core);
   const auto n_links = static_cast<std::int64_t>(list.size());
 
+  // Phases this pass will execute under the colored schedule (identical
+  // for every thread); the in-pass barriers it pays is one fewer.
+  std::uint64_t color_barriers = 0;
+  if constexpr (requires { Accum::kColoredSchedule; }) {
+    int executed = 0;
+    for (int ph = 0; ph < acc.phase_count(); ++ph) {
+      const bool halo = acc.phase_is_halo(ph);
+      if ((section == ForceSection::kCore && halo) ||
+          (section == ForceSection::kHalo && !halo)) {
+        continue;
+      }
+      ++executed;
+    }
+    color_barriers = executed > 0 ? static_cast<std::uint64_t>(executed - 1) : 0;
+  }
+
   team.parallel([&](int tid) {
     // Zero the global force array (parallel over particles, halos too).
-    {
+    if (section != ForceSection::kHalo) {
       const auto r = smp::static_block(0, n, tid, t_count);
       auto frc = store.forces();
       for (std::int64_t i = r.lo; i < r.hi; ++i) {
@@ -55,7 +83,9 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
       }
     }
     acc.thread_begin(tid, store);
-    team.barrier();  // zeroing complete before any accumulation
+    if (section != ForceSection::kHalo) {
+      team.barrier();  // zeroing complete before any accumulation
+    }
 
     auto pos = store.positions();
     auto vel = store.velocities();
@@ -76,23 +106,36 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
       // Phased conflict-free traversal: within a phase each thread's
       // chunks write disjoint particle sets, so every add is a plain
       // store; the barrier separates phases whose write regions overlap.
+      // A section pass filters to its phases; the region join between a
+      // kCore and a kHalo pass replaces the barrier that would have
+      // separated them.
       const int nph = acc.phase_count();
+      bool ran_phase = false;
       for (int ph = 0; ph < nph; ++ph) {
         const bool halo = acc.phase_is_halo(ph);
+        if ((section == ForceSection::kCore && halo) ||
+            (section == ForceSection::kHalo && !halo)) {
+          continue;
+        }
+        if (ran_phase) team.barrier();
+        ran_phase = true;
         for (const int chunk : acc.thread_chunks(acc.phase_color(ph), tid)) {
           const auto [lo, hi] =
               halo ? acc.halo_range(chunk) : acc.core_range(chunk);
           run(lo, hi, !halo, halo ? 0.5 : 1.0);
         }
-        if (ph + 1 < nph) team.barrier();
       }
     } else {
-      const auto rc = smp::static_block(0, n_core_links, tid, t_count);
-      run(static_cast<std::size_t>(rc.lo), static_cast<std::size_t>(rc.hi),
-          true, 1.0);
-      const auto rh = smp::static_block(n_core_links, n_links, tid, t_count);
-      run(static_cast<std::size_t>(rh.lo), static_cast<std::size_t>(rh.hi),
-          false, 0.5);
+      if (section != ForceSection::kHalo) {
+        const auto rc = smp::static_block(0, n_core_links, tid, t_count);
+        run(static_cast<std::size_t>(rc.lo), static_cast<std::size_t>(rc.hi),
+            true, 1.0);
+      }
+      if (section != ForceSection::kCore) {
+        const auto rh = smp::static_block(n_core_links, n_links, tid, t_count);
+        run(static_cast<std::size_t>(rh.lo), static_cast<std::size_t>(rh.hi),
+            false, 0.5);
+      }
     }
 
     acc.thread_finish(team, tid, store);
@@ -108,7 +151,14 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
   }
   if (counters != nullptr) {
     acc.collect(*counters);
-    counters->force_evals += list.size();
+    counters->color_barriers += color_barriers;
+    switch (section) {
+      case ForceSection::kAll: counters->force_evals += list.size(); break;
+      case ForceSection::kCore: counters->force_evals += list.n_core; break;
+      case ForceSection::kHalo:
+        counters->force_evals += list.size() - list.n_core;
+        break;
+    }
     counters->contacts += contacts;
   }
   return pe;
@@ -219,10 +269,12 @@ template <int D, class Model, class Disp>
 double dispatch_force_pass(AnyAccumulator<D>& acc, smp::ThreadTeam& team,
                            const LinkList& list, ParticleStore<D>& store,
                            const Model& model, Disp&& disp,
-                           Counters* counters = nullptr) {
+                           Counters* counters = nullptr,
+                           ForceSection section = ForceSection::kAll) {
   return std::visit(
       [&](auto& a) {
-        return smp_force_pass<D>(team, list, store, model, disp, a, counters);
+        return smp_force_pass<D>(team, list, store, model, disp, a, counters,
+                                 section);
       },
       acc);
 }

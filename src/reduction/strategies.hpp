@@ -168,16 +168,10 @@ class SelectedAtomicAccumulator {
     tallies_.assign(static_cast<std::size_t>(team_size), {});
     owner_.assign(nparticles, -1);
     shared_.assign(nparticles, 0);
-    auto mark = [&](std::int32_t p, int tid) {
-      auto& o = owner_[static_cast<std::size_t>(p)];
-      if (o < 0) {
-        o = static_cast<std::int16_t>(tid);
-      } else if (o != tid) {
-        shared_[static_cast<std::size_t>(p)] = 1;
-      }
-    };
-    // Core and halo links are partitioned independently by the force pass,
-    // so both partitions must feed the conflict table.
+    // Core and halo links are partitioned independently by the force pass
+    // — whether it traverses both sections in one region or one section
+    // per region (the overlapped schedule), the per-section static ranges
+    // are the same — so both partitions must feed the conflict table.
     for (int tid = 0; tid < team_size; ++tid) {
       const auto rc = smp::static_block(0, static_cast<std::int64_t>(n_core_links),
                                         tid, team_size);
@@ -206,14 +200,6 @@ class SelectedAtomicAccumulator {
     tallies_.assign(static_cast<std::size_t>(team_size), {});
     owner_.assign(nparticles, -1);
     shared_.assign(nparticles, 0);
-    auto mark = [&](std::int32_t p, int tid) {
-      auto& o = owner_[static_cast<std::size_t>(p)];
-      if (o < 0) {
-        o = static_cast<std::int16_t>(tid);
-      } else if (o != tid) {
-        shared_[static_cast<std::size_t>(p)] = 1;
-      }
-    };
     const auto nlinks = static_cast<std::int64_t>(links.size());
     for (int tid = 0; tid < team_size; ++tid) {
       const auto g = smp::static_block(0, total_links, tid, team_size);
@@ -224,6 +210,36 @@ class SelectedAtomicAccumulator {
         if (static_cast<std::size_t>(l) < n_core_links) {
           mark(links[static_cast<std::size_t>(l)].j, tid);
         }
+      }
+    }
+  }
+
+  // Extend the conflict table with the overlapped fused schedule's split
+  // partitions: when core forces run while halos are in flight, the global
+  // core-link and halo-link ranges are partitioned separately, so a
+  // particle may be shared under the split partitions but not the unsplit
+  // one.  Marking on top of prepare_global keeps the table valid for both
+  // schedules (extra atomics never change a per-thread sum order).
+  void mark_global_split(int team_size, std::span<const Link> links,
+                         std::size_t n_core_links, std::int64_t core_offset,
+                         std::int64_t total_core, std::int64_t halo_offset,
+                         std::int64_t total_halo) {
+    const auto ncore = static_cast<std::int64_t>(n_core_links);
+    const auto nhalo = static_cast<std::int64_t>(links.size()) - ncore;
+    for (int tid = 0; tid < team_size; ++tid) {
+      const auto gc = smp::static_block(0, total_core, tid, team_size);
+      const std::int64_t lo = std::max<std::int64_t>(gc.lo - core_offset, 0);
+      const std::int64_t hi = std::min<std::int64_t>(gc.hi - core_offset, ncore);
+      for (std::int64_t l = lo; l < hi; ++l) {
+        mark(links[static_cast<std::size_t>(l)].i, tid);
+        mark(links[static_cast<std::size_t>(l)].j, tid);
+      }
+      const auto gh = smp::static_block(0, total_halo, tid, team_size);
+      const std::int64_t hlo = std::max<std::int64_t>(gh.lo - halo_offset, 0);
+      const std::int64_t hhi = std::min<std::int64_t>(gh.hi - halo_offset, nhalo);
+      for (std::int64_t l = hlo; l < hhi; ++l) {
+        mark(links[static_cast<std::size_t>(ncore + l)].i, tid);
+        // halo ends (j) are never updated
       }
     }
   }
@@ -254,6 +270,17 @@ class SelectedAtomicAccumulator {
   }
 
  private:
+  // Record that thread `tid` updates particle `p` under some partition;
+  // a second distinct owner makes the particle shared.
+  void mark(std::int32_t p, int tid) {
+    auto& o = owner_[static_cast<std::size_t>(p)];
+    if (o < 0) {
+      o = static_cast<std::int16_t>(tid);
+    } else if (o != tid) {
+      shared_[static_cast<std::size_t>(p)] = 1;
+    }
+  }
+
   std::vector<detail::ThreadTally> tallies_;
   std::vector<std::int16_t> owner_;
   std::vector<std::uint8_t> shared_;
@@ -467,7 +494,8 @@ class ColoredAccumulator {
     }
     c.colors = static_cast<std::uint64_t>(ncolors_);
     c.colored_chunks = static_cast<std::uint64_t>(nchunks_);
-    c.color_barriers += static_cast<std::uint64_t>(phase_count() - 1);
+    // color_barriers is tallied by smp_force_pass, which knows how many
+    // phases the pass actually ran (a section pass runs a subset).
   }
 
   // -- phased-traversal queries (used by smp_force_pass and tests) ----------

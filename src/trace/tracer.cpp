@@ -20,6 +20,7 @@ const char* to_string(Phase p) {
     case Phase::kForce: return "force";
     case Phase::kUpdate: return "update";
     case Phase::kHaloSwap: return "halo-swap";
+    case Phase::kHaloWait: return "halo-wait";
     case Phase::kMigrate: return "migrate";
     case Phase::kHaloBuild: return "halo-build";
     case Phase::kLinkBuild: return "link-build";

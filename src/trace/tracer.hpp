@@ -23,7 +23,8 @@ namespace hdem::trace {
 enum class Phase : std::uint8_t {
   kForce,        // force accumulation over links
   kUpdate,       // position update
-  kHaloSwap,     // per-iteration halo position refresh
+  kHaloSwap,     // halo swap initiation: pack + post sends/receives
+  kHaloWait,     // halo swap completion: exposed wait + corner forwarding
   kMigrate,      // particle re-homing at rebuild
   kHaloBuild,    // halo template construction at rebuild
   kLinkBuild,    // binning + link generation at rebuild
@@ -33,7 +34,7 @@ enum class Phase : std::uint8_t {
 };
 
 const char* to_string(Phase p);
-inline constexpr int kPhaseCount = 9;
+inline constexpr int kPhaseCount = 10;
 
 struct Event {
   Phase phase;

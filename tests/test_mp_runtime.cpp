@@ -252,6 +252,244 @@ TEST(Stress, ManyInterleavedMessages) {
   });
 }
 
+// ---- nonblocking point to point ---------------------------------------------
+
+TEST(Nonblocking, IsendCompletesImmediately) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data = {1, 2, 3};
+      Request req = comm.isend<int>(1, 4, data);
+      EXPECT_TRUE(req.done());
+      EXPECT_FALSE(req.active());
+      comm.wait(req);  // no-op on a completed request
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 4).size(), 3u);
+    }
+  });
+}
+
+TEST(Nonblocking, InactiveRequestIsComplete) {
+  run(1, [](Comm& comm) {
+    Request req;
+    EXPECT_FALSE(req.active());
+    EXPECT_TRUE(comm.test(req));
+    comm.wait(req);  // must not block
+    std::vector<Request> reqs(3);
+    EXPECT_EQ(comm.wait_any(reqs), Comm::kNoRequest);
+  });
+}
+
+TEST(Nonblocking, IrecvRoundTrip) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 2, std::vector<double>{2.5, -7.0});
+    } else {
+      std::vector<double> buf(2, 0.0);
+      Request req = comm.irecv<double>(0, 2, buf);
+      comm.wait(req);
+      EXPECT_EQ(req.bytes(), 2 * sizeof(double));
+      EXPECT_DOUBLE_EQ(buf[0], 2.5);
+      EXPECT_DOUBLE_EQ(buf[1], -7.0);
+    }
+  });
+}
+
+TEST(Nonblocking, IsendInterleavesFifoWithBlockingSend) {
+  // Mixed isend / send traffic on one (src, tag) channel must arrive in
+  // send-call order, and mixed irecv / recv must drain it in match order
+  // (nonblocking calls share the blocking calls' channels).
+  run(2, [](Comm& comm) {
+    constexpr int kMsgs = 8;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        const std::vector<int> payload = {i};
+        if (i % 2 == 0) {
+          comm.isend<int>(1, 3, payload);
+        } else {
+          comm.send<int>(1, 3, payload);
+        }
+      }
+    } else {
+      std::vector<std::vector<int>> bufs(kMsgs, std::vector<int>(1, -1));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        if (i % 3 == 0) {
+          // Blocking receive: must match the next message in FIFO order
+          // even with nonblocking receives posted around it.
+          bufs[static_cast<std::size_t>(i)][0] = comm.recv<int>(0, 3).at(0);
+        } else {
+          reqs.push_back(comm.irecv<int>(
+              0, 3, std::span<int>(bufs[static_cast<std::size_t>(i)])));
+        }
+      }
+      comm.wait_all(reqs);
+      for (int i = 0; i < kMsgs; ++i) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(i)][0], i) << "message " << i;
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, PostedOrderMatching) {
+  // Two receives posted on the same channel complete in posting order, no
+  // matter which one waits first (the MPI posted-receive rule).
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 0, std::vector<int>{100});
+      comm.send<int>(1, 0, std::vector<int>{200});
+    } else {
+      std::vector<int> first(1, -1), second(1, -1);
+      Request r1 = comm.irecv<int>(0, 0, first);
+      Request r2 = comm.irecv<int>(0, 0, second);
+      comm.wait(r2);  // out-of-order wait must not steal r1's message
+      comm.wait(r1);
+      EXPECT_EQ(first[0], 100);
+      EXPECT_EQ(second[0], 200);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitAnyDrainsEveryRequestExactlyOnce) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Receives posted in source order; sources send in reverse order, so
+      // completion order is driven by arrival, not index.
+      std::vector<std::vector<int>> bufs(
+          kRanks - 1, std::vector<int>(1, -1));
+      std::vector<Request> reqs;
+      for (int src = 1; src < kRanks; ++src) {
+        reqs.push_back(comm.irecv<int>(
+            src, 0, std::span<int>(bufs[static_cast<std::size_t>(src - 1)])));
+      }
+      std::vector<int> seen(kRanks - 1, 0);
+      for (int i = 0; i < kRanks - 1; ++i) {
+        const std::size_t idx = comm.wait_any(reqs);
+        ASSERT_NE(idx, Comm::kNoRequest);
+        ASSERT_LT(idx, reqs.size());
+        EXPECT_TRUE(reqs[idx].done());
+        ++seen[idx];
+        EXPECT_EQ(bufs[idx][0], static_cast<int>(idx) + 1);
+      }
+      for (int i = 0; i < kRanks - 1; ++i) EXPECT_EQ(seen[i], 1);
+      EXPECT_EQ(comm.wait_any(reqs), Comm::kNoRequest);
+    } else {
+      // Stagger sends in reverse rank order via rank-chained messages.
+      if (comm.rank() < kRanks - 1) comm.recv<int>(comm.rank() + 1, 9);
+      comm.send<int>(0, 0, std::vector<int>{comm.rank()});
+      if (comm.rank() > 1) comm.send<int>(comm.rank() - 1, 9,
+                                          std::vector<int>{1});
+    }
+  });
+}
+
+TEST(Nonblocking, TestObservesArrival) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> buf(1, -1);
+      Request req = comm.irecv<int>(1, 0, buf);
+      // Rank 1 has not reached the barrier, so nothing can have arrived.
+      EXPECT_FALSE(comm.test(req));
+      comm.barrier();
+      comm.wait(req);
+      EXPECT_EQ(buf[0], 77);
+      EXPECT_TRUE(comm.test(req));
+    } else {
+      comm.barrier();
+      comm.send<int>(0, 0, std::vector<int>{77});
+    }
+  });
+}
+
+TEST(Nonblocking, OverlapAccountingSplitsBytes) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 0, std::vector<double>(5, 1.0));
+      comm.barrier();
+    } else {
+      // The message is in the mailbox before the receive is posted, so the
+      // wait finds it complete: all bytes count as overlapped.
+      comm.barrier();
+      std::vector<double> buf(5, 0.0);
+      Request req = comm.irecv<double>(0, 0, buf);
+      comm.wait(req);
+      const Counters& c = comm.counters();
+      EXPECT_EQ(c.irecvs_posted, 1u);
+      EXPECT_EQ(c.bytes_overlapped, 40u);
+      EXPECT_EQ(c.bytes_exposed, 0u);
+      EXPECT_EQ(c.waits_blocked, 0u);
+    }
+  });
+}
+
+TEST(Nonblocking, AccountingCoversEveryReceivedByte) {
+  // Whether a given wait turns out overlapped or exposed depends on thread
+  // timing, but the two buckets must always partition the received bytes.
+  run(2, [](Comm& comm) {
+    constexpr int kMsgs = 20;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        comm.isend<int>(1, i, std::vector<int>{i, i});
+      }
+    } else {
+      std::vector<std::vector<int>> bufs(kMsgs, std::vector<int>(2, 0));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        reqs.push_back(comm.irecv<int>(
+            0, i, std::span<int>(bufs[static_cast<std::size_t>(i)])));
+      }
+      comm.wait_all(reqs);
+      const Counters& c = comm.counters();
+      EXPECT_EQ(c.irecvs_posted, static_cast<std::uint64_t>(kMsgs));
+      EXPECT_EQ(c.bytes_overlapped + c.bytes_exposed,
+                static_cast<std::uint64_t>(kMsgs) * 2 * sizeof(int));
+    }
+  });
+}
+
+TEST(Nonblocking, OversizedPayloadThrows) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 0, std::vector<int>{1, 2, 3});
+      comm.barrier();
+    } else {
+      std::vector<int> buf(2, 0);  // too small for 3 ints
+      comm.barrier();
+      Request req = comm.irecv<int>(0, 0, buf);
+      EXPECT_THROW(comm.wait(req), std::length_error);
+    }
+  });
+}
+
+TEST(Nonblocking, NoPendingMessagesAfterDrain) {
+  run(3, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % 3;
+    const int prev = (comm.rank() + 2) % 3;
+    std::vector<int> buf(1, -1);
+    Request req = comm.irecv<int>(prev, 0, buf);
+    comm.isend<int>(next, 0, std::vector<int>{comm.rank()});
+    comm.wait(req);
+    EXPECT_EQ(buf[0], prev);
+    comm.barrier();  // every rank done receiving before the leak check
+    EXPECT_EQ(comm.pending(), 0u);
+  });
+}
+
+TEST(Mailbox, PendingCountsUnclaimedTickets) {
+  Mailbox box;
+  auto ticket = box.post(0, 1);
+  EXPECT_EQ(box.pending(), 0u);  // a posted receive is not a pending message
+  RawMessage m;
+  m.src = 0;
+  m.tag = 1;
+  m.payload.assign(4, std::byte{0});
+  box.push(std::move(m));
+  EXPECT_TRUE(box.ready(*ticket));
+  EXPECT_EQ(box.pending(), 1u);  // fulfilled but unclaimed
+  box.claim(*ticket);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
 // ---- Cartesian topology -----------------------------------------------------
 
 TEST(Cart, RankCoordRoundTrip) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <mutex>
 
 #include "core/serial_sim.hpp"
 
@@ -44,7 +45,8 @@ class MpEquivalence3D : public ::testing::TestWithParam<Case> {};
 
 template <int D>
 void run_equivalence(const Case& p, std::uint64_t n, int steps,
-                     std::uint64_t seed) {
+                     std::uint64_t seed,
+                     typename MpSim<D>::Options opts = {}) {
   SimConfig<D> cfg;
   cfg.box = Vec<D>(1.0);
   cfg.bc = p.bc;
@@ -56,7 +58,7 @@ void run_equivalence(const Case& p, std::uint64_t n, int steps,
 
   mp::run(p.nprocs, [&](mp::Comm& comm) {
     MpSim<D> sim(cfg, layout, comm,
-                 ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
     sim.run(static_cast<std::uint64_t>(steps));
     const double energy = sim.global_energy();
     auto state = sim.gather_state();
@@ -110,6 +112,159 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.blocks_per_proc) + "_" +
              (info.param.bc == BoundaryKind::kPeriodic ? "periodic" : "walls");
     });
+
+// ---- overlapped halo schedule -----------------------------------------------
+
+// Final state of an mp run, gathered to one map for exact comparison.
+template <int D>
+struct MpState {
+  std::map<int, Vec<D>> pos;
+  double energy = 0.0;
+  Counters agg;
+};
+
+template <int D>
+MpState<D> run_mp_state(const SimConfig<D>& cfg,
+                        const std::vector<ParticleInit<D>>& init, int nprocs,
+                        int bpp, typename MpSim<D>::Options opts, int steps) {
+  const auto layout = DecompLayout<D>::make(nprocs, bpp);
+  MpState<D> out;
+  std::mutex mu;
+  mp::run(nprocs, [&](mp::Comm& comm) {
+    MpSim<D> sim(cfg, layout, comm,
+                 ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
+    sim.run(static_cast<std::uint64_t>(steps));
+    const double energy = sim.global_energy();
+    auto state = sim.gather_state();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      out.agg.merge(sim.counters());
+    }
+    if (comm.rank() != 0) return;
+    out.energy = energy;
+    for (auto& r : state) out.pos[r.id] = r.pos;
+  });
+  return out;
+}
+
+// The overlapped schedule must not merely be close to the synchronous one:
+// core links always accumulate before halo links per block and the PE sums
+// in the same order, so the trajectories are the same bits.
+template <int D>
+void expect_overlap_bit_identical(std::uint64_t n, int steps,
+                                  std::uint64_t seed, int nprocs, int bpp,
+                                  bool reorder,
+                                  typename MpSim<D>::Options opts = {}) {
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.seed = seed;
+  cfg.reorder = reorder;
+  cfg.velocity_scale = 0.8;  // rebuilds + migrations inside the window
+  const auto init = uniform_random_particles(cfg, n);
+  opts.overlap = false;
+  const auto off = run_mp_state<D>(cfg, init, nprocs, bpp, opts, steps);
+  opts.overlap = true;
+  const auto on = run_mp_state<D>(cfg, init, nprocs, bpp, opts, steps);
+
+  EXPECT_EQ(off.energy, on.energy);
+  ASSERT_EQ(off.pos.size(), on.pos.size());
+  for (const auto& [id, p] : off.pos) {
+    const auto it = on.pos.find(id);
+    ASSERT_NE(it, on.pos.end());
+    for (int d = 0; d < D; ++d) {
+      EXPECT_EQ(p[d], it->second[d]) << "particle " << id << " dim " << d;
+    }
+  }
+  // The overlapped run exercised the nonblocking path (at P > 1 some halo
+  // traffic is remote) and the split accounting covers all of it.
+  if (nprocs > 1) {
+    EXPECT_GT(on.agg.irecvs_posted, 0u);
+    EXPECT_GT(on.agg.bytes_overlapped + on.agg.bytes_exposed, 0u);
+  }
+}
+
+TEST(MpOverlap, BitIdentical2DReordered) {
+  expect_overlap_bit_identical<2>(500, 120, 31, 4, 4, true);
+}
+
+TEST(MpOverlap, BitIdentical2DUnordered) {
+  expect_overlap_bit_identical<2>(500, 120, 31, 4, 2, false);
+}
+
+TEST(MpOverlap, BitIdentical3DReordered) {
+  expect_overlap_bit_identical<3>(700, 120, 37, 4, 2, true);
+}
+
+TEST(MpOverlap, BitIdentical3DUnordered) {
+  expect_overlap_bit_identical<3>(700, 120, 37, 4, 1, false);
+}
+
+TEST(MpOverlap, BitIdenticalColoredThreads) {
+  // The colored plan runs all core phases before all halo phases, so the
+  // split schedule executes the same phases in the same order: threaded
+  // runs stay bit-identical as well.
+  typename MpSim<2>::Options opts;
+  opts.nthreads = 2;
+  opts.reduction = ReductionKind::kColored;
+  expect_overlap_bit_identical<2>(500, 60, 11, 2, 2, true, opts);
+}
+
+TEST(MpOverlap, MatchesSerialTrajectory2D) {
+  typename MpSim<2>::Options opts;
+  opts.overlap = true;
+  run_equivalence<2>(Case{4, 4, BoundaryKind::kPeriodic}, 500, 120, 31, opts);
+}
+
+TEST(MpOverlap, MatchesSerialTrajectory3D) {
+  typename MpSim<3>::Options opts;
+  opts.overlap = true;
+  run_equivalence<3>(Case{4, 2, BoundaryKind::kPeriodic}, 700, 100, 37, opts);
+}
+
+TEST(MpOverlap, MatchesSerialWithWalls) {
+  typename MpSim<2>::Options opts;
+  opts.overlap = true;
+  run_equivalence<2>(Case{4, 4, BoundaryKind::kWalls}, 500, 120, 31, opts);
+}
+
+TEST(MpOverlap, FusedHybridMatchesSerial) {
+  typename MpSim<2>::Options opts;
+  opts.overlap = true;
+  opts.fused = true;
+  opts.nthreads = 2;
+  opts.reduction = ReductionKind::kSelectedAtomic;
+  run_equivalence<2>(Case{2, 4, BoundaryKind::kPeriodic}, 500, 120, 31, opts);
+}
+
+TEST(MpOverlap, PerBlockHybridMatchesSerial) {
+  typename MpSim<2>::Options opts;
+  opts.overlap = true;
+  opts.nthreads = 2;
+  opts.reduction = ReductionKind::kSelectedAtomic;
+  run_equivalence<2>(Case{2, 4, BoundaryKind::kPeriodic}, 500, 120, 31, opts);
+}
+
+TEST(MpOverlap, NoMessageLeakAfterTeardown) {
+  SimConfig<2> cfg;
+  cfg.box = Vec<2>(1.0);
+  cfg.seed = 13;
+  cfg.velocity_scale = 0.8;
+  const auto init = uniform_random_particles(cfg, 400);
+  const auto layout = DecompLayout<2>::make(4, 2);
+  mp::run(4, [&](mp::Comm& comm) {
+    typename MpSim<2>::Options opts;
+    opts.overlap = true;
+    {
+      MpSim<2> sim(cfg, layout, comm,
+                   ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
+      sim.run(30);
+    }
+    // Every send the simulation issued has been matched by a receive:
+    // after all ranks are done, no mailbox holds an unclaimed message.
+    comm.barrier();
+    EXPECT_EQ(comm.pending(), 0u);
+  });
+}
 
 TEST(MpSim, HaloLinkAccountingSymmetric) {
   // Every cross-block pair appears exactly twice globally (once per side),

@@ -172,6 +172,69 @@ TEST(CostModel, CommCostUsesLatencyAndBandwidth) {
   EXPECT_NEAR(b.comm, (10 * 1e-5 + 1e6 / 1e8) / 20.0, 1e-12);
 }
 
+// Two-rank run with inter-node traffic plus an overlapped/exposed byte
+// split, as the nonblocking halo schedule records it.
+RunMeasurement overlap_run(std::uint64_t overlapped, std::uint64_t exposed) {
+  RunMeasurement r = base_run();
+  r.nprocs = 2;
+  r.bytes_matrix.assign(4, 0);
+  r.msgs_matrix.assign(4, 0);
+  r.bytes_matrix[0 * 2 + 1] = 1e6;
+  r.msgs_matrix[0 * 2 + 1] = 10;
+  r.agg.bytes_overlapped = overlapped;
+  r.agg.bytes_exposed = exposed;
+  return r;
+}
+
+TEST(CostModel, OverlapDiscountRequiresOverlapSchedule) {
+  // The synchronous schedule also records overlapped bytes (eager sends
+  // land before the immediately-following wait), but nothing hides behind
+  // compute there — the model must not credit it.
+  auto r = overlap_run(3000, 1000);
+  const auto m = toy_machine();
+  ModelLayout l;
+  l.ranks_per_node = 1;
+  r.overlap = false;
+  const auto sync = CostModel::predict(m, r, l);
+  EXPECT_DOUBLE_EQ(sync.comm_hidden, 0.0);
+  EXPECT_NEAR(sync.comm, (10 * 1e-5 + 1e6 / 1e8) / 20.0, 1e-12);
+  r.overlap = true;
+  const auto over = CostModel::predict(m, r, l);
+  EXPECT_GT(over.comm_hidden, 0.0);
+  EXPECT_NEAR(over.comm, sync.comm - over.comm_hidden, 1e-15);
+}
+
+TEST(CostModel, OverlapHidesByteCostNotLatency) {
+  // 25% overlapped: a quarter of the byte term hides behind compute; the
+  // per-message latency term never does.  comm_hidden stays out of total().
+  auto r = overlap_run(1000, 3000);
+  r.overlap = true;
+  const auto m = toy_machine();
+  ModelLayout l;
+  l.ranks_per_node = 1;
+  const auto b = CostModel::predict(m, r, l);
+  const double latency = 10 * 1e-5 / 20.0;
+  const double bytes = 1e6 / 1e8 / 20.0;
+  EXPECT_NEAR(b.comm_hidden, 0.25 * bytes, 1e-12);
+  EXPECT_NEAR(b.comm, latency + 0.75 * bytes, 1e-12);
+  EXPECT_NEAR(b.total(), b.compute + b.comm, 1e-15);
+}
+
+TEST(CostModel, OverlapHiddenCostCappedByCompute) {
+  // Fully overlapped and bytes dwarf compute: the hidden share cannot
+  // exceed what there is to hide behind.
+  auto r = overlap_run(4000, 0);
+  r.overlap = true;
+  const auto m = toy_machine();
+  ModelLayout l;
+  l.ranks_per_node = 1;
+  const auto b = CostModel::predict(m, r, l);
+  const double bytes = 1e6 / 1e8 / 20.0;
+  ASSERT_GT(bytes, b.compute);  // the cap is actually exercised
+  EXPECT_NEAR(b.comm_hidden, b.compute, 1e-15);
+  EXPECT_GE(b.comm, 10 * 1e-5 / 20.0);  // latency survives in full
+}
+
 TEST(CostModel, CountScaleExtrapolatesLinearly) {
   const auto r = base_run();
   const auto m = toy_machine();
