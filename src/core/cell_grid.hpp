@@ -8,12 +8,14 @@
 // permutation ("particles in the same cell being contiguous in the list").
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/vec.hpp"
@@ -47,6 +49,9 @@ class CellGrid {
       inv_cell_[d] = 1.0 / cell_size_[d];
       ncells_ *= dims_[d];
     }
+    // Cells per axis-0 slab: the stride used by slab_of_cell and by the
+    // fused link build's chunk tagging (a multiplication-free lookup).
+    cells_per_slab_ = ncells_ / dims_[0];
   }
 
   int ncells() const { return ncells_; }
@@ -62,8 +67,9 @@ class CellGrid {
   // index of the row-major cell order, so each slab is one contiguous cell
   // range and links built in cell order are already grouped by slab.
   int slab_count() const { return dims_[0]; }
+  int cells_per_slab() const { return cells_per_slab_; }
   int slab_of_cell(std::int32_t cell) const {
-    return static_cast<int>(cell / (ncells_ / dims_[0]));
+    return static_cast<int>(cell / cells_per_slab_);
   }
   // Slab containing x, clamped exactly as cell_of() clamps, so the slab of
   // a particle always agrees with the slab of its cell.
@@ -121,6 +127,76 @@ class CellGrid {
           cursor_[static_cast<std::size_t>(cell_of_particle_[i])]++)] =
           static_cast<std::int32_t>(i);
     }
+  }
+
+  // Parallel counting sort: produces exactly the same starts_/order_ as
+  // bin() for any team size.  Each team member histograms a contiguous
+  // particle range, the (cell, thread) counts are prefix-scanned in
+  // cell-major, thread-minor order — reproducing the serial sort's
+  // stability, since threads own ascending particle ranges — and every
+  // thread then scatters its particles into its reserved slots.  Team only
+  // needs size()/parallel()/barrier() (smp::ThreadTeam's interface); the
+  // template keeps core free of a threading dependency.
+  template <class Team>
+  void bin_parallel(std::span<const Vec<D>> pos, std::size_t n, Team& team) {
+    assert(n <= pos.size());
+    const int t_count = team.size();
+    if (t_count <= 1) {
+      bin(pos, n);
+      return;
+    }
+    const auto ncells = static_cast<std::size_t>(ncells_);
+    starts_.resize(ncells + 1);
+    cell_of_particle_.resize(n);
+    order_.resize(n);
+    hist_.resize(static_cast<std::size_t>(t_count) * ncells);
+    scan_carry_.assign(static_cast<std::size_t>(t_count), 0);
+    team.parallel([&](int tid) {
+      const auto t = static_cast<std::size_t>(tid);
+      std::int32_t* h = hist_.data() + t * ncells;
+      // Phase 1: per-thread cell histogram over its particle range.
+      std::fill(h, h + ncells, 0);
+      const auto [p_lo, p_hi] = split_range(n, tid, t_count);
+      for (std::size_t i = p_lo; i < p_hi; ++i) {
+        const std::int32_t c = cell_of(pos[i]);
+        cell_of_particle_[i] = c;
+        ++h[static_cast<std::size_t>(c)];
+      }
+      team.barrier();
+      // Phase 2: exclusive scan.  Each thread totals its cell range, the
+      // per-range carries are combined (redundantly, deterministically),
+      // and the scan converts every (cell, thread) count into that
+      // thread's first write slot for that cell.
+      const auto [c_lo, c_hi] = split_range(ncells, tid, t_count);
+      std::int64_t sum = 0;
+      for (std::size_t c = c_lo; c < c_hi; ++c) {
+        for (int tt = 0; tt < t_count; ++tt) {
+          sum += hist_[static_cast<std::size_t>(tt) * ncells + c];
+        }
+      }
+      scan_carry_[t] = sum;
+      team.barrier();
+      std::int64_t run = 0;
+      for (int tt = 0; tt < tid; ++tt) {
+        run += scan_carry_[static_cast<std::size_t>(tt)];
+      }
+      for (std::size_t c = c_lo; c < c_hi; ++c) {
+        starts_[c] = static_cast<std::int32_t>(run);
+        for (int tt = 0; tt < t_count; ++tt) {
+          auto& slot = hist_[static_cast<std::size_t>(tt) * ncells + c];
+          const std::int32_t count = slot;
+          slot = static_cast<std::int32_t>(run);
+          run += count;
+        }
+      }
+      team.barrier();
+      // Phase 3: stable scatter into the reserved slots.
+      for (std::size_t i = p_lo; i < p_hi; ++i) {
+        const auto c = static_cast<std::size_t>(cell_of_particle_[i]);
+        order_[static_cast<std::size_t>(h[c]++)] = static_cast<std::int32_t>(i);
+      }
+    });
+    starts_[ncells] = static_cast<std::int32_t>(n);
   }
 
   // Particle indices in cell c (valid after bin()).
@@ -187,16 +263,33 @@ class CellGrid {
   }
 
  private:
+  // Contiguous share of [0, total) for team member tid: the same static
+  // block split as smp::static_block (remainder spread over the first
+  // members).  Any contiguous ascending partition keeps the parallel sort
+  // stable; matching the team's convention keeps ranges cache-aligned with
+  // the other parallel loops.
+  static std::pair<std::size_t, std::size_t> split_range(std::size_t total,
+                                                         int tid, int t) {
+    const std::size_t chunk = total / static_cast<std::size_t>(t);
+    const std::size_t rem = total % static_cast<std::size_t>(t);
+    const auto id = static_cast<std::size_t>(tid);
+    const std::size_t lo = chunk * id + (id < rem ? id : rem);
+    return {lo, lo + chunk + (id < rem ? 1 : 0)};
+  }
+
   Vec<D> lo_{};
   std::array<int, D> dims_{};
   Vec<D> cell_size_{};
   Vec<D> inv_cell_{};
   std::array<bool, D> wrap_{};
   int ncells_ = 0;
+  int cells_per_slab_ = 0;
   std::vector<std::int32_t> starts_;   // ncells + 1 prefix offsets
   std::vector<std::int32_t> order_;    // cell-ordered particle indices
   std::vector<std::int32_t> cursor_;   // scratch for counting sort
   std::vector<std::int32_t> cell_of_particle_;  // scratch
+  std::vector<std::int32_t> hist_;     // parallel bin: (thread, cell) counts
+  std::vector<std::int64_t> scan_carry_;  // parallel bin: per-range totals
 };
 
 }  // namespace hdem

@@ -40,6 +40,10 @@ Counters& Counters::merge(const Counters& o) {
   bytes_overlapped += o.bytes_overlapped;
   bytes_exposed += o.bytes_exposed;
   exposed_wait_ns += o.exposed_wait_ns;
+  rebuild_bin_ns += o.rebuild_bin_ns;
+  rebuild_reorder_ns += o.rebuild_reorder_ns;
+  rebuild_linkgen_ns += o.rebuild_linkgen_ns;
+  rebuild_colorplan_ns += o.rebuild_colorplan_ns;
   return *this;
 }
 
@@ -104,6 +108,11 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.bytes_overlapped = after.bytes_overlapped - before.bytes_overlapped;
   d.bytes_exposed = after.bytes_exposed - before.bytes_exposed;
   d.exposed_wait_ns = after.exposed_wait_ns - before.exposed_wait_ns;
+  d.rebuild_bin_ns = after.rebuild_bin_ns - before.rebuild_bin_ns;
+  d.rebuild_reorder_ns = after.rebuild_reorder_ns - before.rebuild_reorder_ns;
+  d.rebuild_linkgen_ns = after.rebuild_linkgen_ns - before.rebuild_linkgen_ns;
+  d.rebuild_colorplan_ns =
+      after.rebuild_colorplan_ns - before.rebuild_colorplan_ns;
   return d;
 }
 
@@ -136,7 +145,11 @@ std::string Counters::summary() const {
      << " waits_blocked=" << waits_blocked
      << " bytes_overlapped=" << bytes_overlapped
      << " bytes_exposed=" << bytes_exposed
-     << " exposed_wait_ns=" << exposed_wait_ns << "\n";
+     << " exposed_wait_ns=" << exposed_wait_ns << "\n"
+     << "rebuild: bin_ns=" << rebuild_bin_ns
+     << " reorder_ns=" << rebuild_reorder_ns
+     << " linkgen_ns=" << rebuild_linkgen_ns
+     << " colorplan_ns=" << rebuild_colorplan_ns << "\n";
   return os.str();
 }
 

@@ -11,6 +11,8 @@
 // always stored first so the force pass can update only that end.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -67,17 +69,64 @@ struct ColorPlan {
   }
 };
 
+// The chunk geometry shared by build_color_plan and the fused link build:
+// how slabs group into chunks, and the pair-swapped storage order.
+struct ChunkMap {
+  int nslabs = 0;
+  int nchunks = 0;
+  bool wrapped = false;
+
+  template <int D>
+  static ChunkMap of(const CellGrid<D>& grid) {
+    ChunkMap m;
+    m.nslabs = grid.slab_count();
+    m.wrapped = grid.wrapped(0);
+    // With axis 0 periodic the chunk count is forced even so the parity
+    // alternation stays consistent around the ring.
+    m.nchunks = m.wrapped ? m.nslabs - (m.nslabs & 1) : m.nslabs;
+    if (m.nchunks < 1) m.nchunks = 1;
+    return m;
+  }
+
+  int ncolors() const { return nchunks >= 2 ? 2 : 1; }
+
+  // Chunk c covers slabs [c * nslabs / nchunks, (c+1) * nslabs / nchunks),
+  // each at least one slab wide since nchunks <= nslabs.
+  int chunk_of_slab(int s) const {
+    return static_cast<int>(
+        (static_cast<std::int64_t>(s + 1) * nchunks - 1) / nslabs);
+  }
+  int slab_lo(int c) const { return c * nslabs / nchunks; }
+  int slab_hi(int c) const { return (c + 1) * nslabs / nchunks; }
+
+  // Storage rank: the pair-swapped sequence 0, 2, 1, 4, 3, 6, 5, ...
+  // Every pair of chunks that shares particles — {c-1, c}, and {nchunks-1,
+  // 0} across the periodic seam — stores the even chunk's links before the
+  // odd chunk's, so a serial in-order traversal accumulates each
+  // particle's contributions in exactly the colored pass's
+  // even-phase-then-odd-phase order (bit-identity).  Unlike a fully
+  // color-major layout the sequence stays near-ascending, so static link
+  // blocks keep their spatial locality and the selected-atomic conflict
+  // surface stays a surface.  The permutation is an involution, so it also
+  // maps a storage rank back to its chunk.
+  int rank_of_chunk(int c) const {
+    if ((c & 1) == 0) return c == 0 ? 0 : c - 1;
+    return c + 1 < nchunks ? c + 1 : c;
+  }
+};
+
 struct LinkList {
   std::vector<Link> links;
   std::size_t n_core = 0;  // links[0, n_core) have both ends core
   ColorPlan plan;          // rebuilt with the list (see build_color_plan)
 
   // Rebuild scratch, reused across rebuilds to avoid per-rebuild
-  // allocations: halo links collected before splicing, and the colored
-  // reorder's temporaries.
+  // allocations: halo links collected before splicing, the colored
+  // reorder's temporaries, and its per-chunk counting-sort offsets.
   std::vector<Link> halo_scratch;
   std::vector<Link> sort_scratch;
   std::vector<std::int32_t> chunk_scratch;
+  std::vector<std::size_t> start_scratch;
 
   std::span<const Link> core() const { return {links.data(), n_core}; }
   std::span<const Link> halo() const {
@@ -178,46 +227,24 @@ void build_color_plan(LinkList& list, const CellGrid<D>& grid,
                       std::span<const Vec<D>> pos) {
   ColorPlan& plan = list.plan;
   plan.clear();
-  const int nslabs = grid.slab_count();
-  const bool wrapped = grid.wrapped(0);
-  int nchunks = wrapped ? nslabs - (nslabs & 1) : nslabs;
-  if (nchunks < 1) nchunks = 1;
-  plan.nchunks = nchunks;
-  plan.ncolors = nchunks >= 2 ? 2 : 1;
-  const auto nsz = static_cast<std::size_t>(nchunks);
+  const ChunkMap cm = ChunkMap::of(grid);
+  plan.nchunks = cm.nchunks;
+  plan.ncolors = cm.ncolors();
+  const auto nsz = static_cast<std::size_t>(cm.nchunks);
   plan.core_lo.assign(nsz, 0);
   plan.core_hi.assign(nsz, 0);
   plan.halo_lo.assign(nsz, 0);
   plan.halo_hi.assign(nsz, 0);
 
-  // Chunk c covers slabs [c * nslabs / nchunks, (c+1) * nslabs / nchunks),
-  // each at least one slab wide since nchunks <= nslabs.
-  auto chunk_of_slab = [&](int s) {
-    return static_cast<int>(
-        (static_cast<std::int64_t>(s + 1) * nchunks - 1) / nslabs);
-  };
-  // Storage rank: the pair-swapped sequence 0, 2, 1, 4, 3, 6, 5, ...
-  // Every pair of chunks that shares particles — {c-1, c}, and {nchunks-1,
-  // 0} across the periodic seam — stores the even chunk's links before the
-  // odd chunk's, so a serial in-order traversal accumulates each
-  // particle's contributions in exactly the colored pass's
-  // even-phase-then-odd-phase order (bit-identity).  Unlike a fully
-  // color-major layout the sequence stays near-ascending, so static link
-  // blocks keep their spatial locality and the selected-atomic conflict
-  // surface stays a surface.
-  auto rank_of_chunk = [&](int c) {
-    if ((c & 1) == 0) return c == 0 ? 0 : c - 1;
-    return c + 1 < nchunks ? c + 1 : c;
-  };
-
   auto& chunk = list.chunk_scratch;
   auto& tmp = list.sort_scratch;
+  auto& start = list.start_scratch;
   chunk.resize(list.links.size());
 
   auto reorder_section = [&](std::size_t lo, std::size_t hi,
                              std::vector<std::size_t>& out_lo,
                              std::vector<std::size_t>& out_hi) {
-    std::vector<std::size_t> start(nsz + 1, 0);
+    start.assign(nsz + 1, 0);
     for (std::size_t l = lo; l < hi; ++l) {
       const Link& ln = list.links[l];
       int sp = grid.slab_of_position(pos[static_cast<std::size_t>(ln.i)]);
@@ -225,19 +252,19 @@ void build_color_plan(LinkList& list, const CellGrid<D>& grid,
       if (sp > sq) std::swap(sp, sq);
       // sq - sp > 1 can only be the pair straddling the periodic seam
       // ({0, nslabs-1}); it originates from the top slab.
-      const int slab = (wrapped && sq - sp > 1) ? sq : sp;
-      chunk[l] = static_cast<std::int32_t>(chunk_of_slab(slab));
-      ++start[static_cast<std::size_t>(rank_of_chunk(chunk[l])) + 1];
+      const int slab = (cm.wrapped && sq - sp > 1) ? sq : sp;
+      chunk[l] = static_cast<std::int32_t>(cm.chunk_of_slab(slab));
+      ++start[static_cast<std::size_t>(cm.rank_of_chunk(chunk[l])) + 1];
     }
     for (std::size_t r = 0; r < nsz; ++r) start[r + 1] += start[r];
-    for (int c = 0; c < nchunks; ++c) {
-      const auto r = static_cast<std::size_t>(rank_of_chunk(c));
+    for (int c = 0; c < cm.nchunks; ++c) {
+      const auto r = static_cast<std::size_t>(cm.rank_of_chunk(c));
       out_lo[static_cast<std::size_t>(c)] = lo + start[r];
       out_hi[static_cast<std::size_t>(c)] = lo + start[r + 1];
     }
     tmp.resize(hi - lo);
     for (std::size_t l = lo; l < hi; ++l) {
-      const auto r = static_cast<std::size_t>(rank_of_chunk(chunk[l]));
+      const auto r = static_cast<std::size_t>(cm.rank_of_chunk(chunk[l]));
       tmp[start[r]++] = list.links[l];
     }
     std::copy(tmp.begin(), tmp.end(),
@@ -262,6 +289,154 @@ void build_links(LinkList& out, const CellGrid<D>& grid,
                    out.halo_scratch.end());
   build_color_plan(out, grid, pos);
   if (counters != nullptr) record_link_stats(out, *counters);
+}
+
+// Scratch for build_links_fused, owned by the caller so every buffer keeps
+// its capacity across rebuilds (the rebuild hot path stays allocation-free
+// at steady state).
+struct FusedBuildScratch {
+  std::vector<std::vector<Link>> core_buf, halo_buf;  // per thread
+  // Flattened [thread * nchunks + chunk] tables: links generated per
+  // (thread, chunk), and each segment's destination offset in the list.
+  std::vector<std::size_t> core_count, halo_count;
+  std::vector<std::size_t> core_dst, halo_dst;
+};
+
+// Fused thread-parallel link build: generates the list AND its ColorPlan in
+// one pass over the cells, producing byte-identical links/n_core/plan to
+// build_links for any team size.
+//
+// Every link's chunk is known from its originating cell alone: the half
+// stencil steps 0 or +1 along axis 0, so the origin always holds the lower
+// of the two endpoint slabs — and the periodic-seam pair (endpoint slabs
+// {0, nslabs-1}, only possible with nslabs >= 3) is assigned to the top
+// slab, which again is the origin.  So instead of tagging links by two
+// slab_of_position calls and re-sorting afterwards (build_color_plan),
+// each thread calls build_links_range once per chunk-intersection of its
+// static cell range and records the growth of its buffers: the buffer is
+// already chunk-segmented, in ascending chunk order, cell order within.
+//
+// One exclusive scan over the (thread, chunk) counts — in storage-rank
+// order, thread-minor — then gives every segment's final destination, and
+// threads copy their segments straight into the pair-swapped canonical
+// positions.  Ordering matches build_color_plan's stable counting sort
+// because both enumerate links in (rank, cell, generation) order: within a
+// chunk, threads in tid order own ascending cell ranges.
+template <int D, class Team, class Disp>
+void build_links_fused(LinkList& out, const CellGrid<D>& grid,
+                       std::span<const Vec<D>> pos, std::size_t ncore,
+                       double rc, Disp&& disp, Team& team,
+                       FusedBuildScratch& scratch) {
+  out.clear();
+  const ChunkMap cm = ChunkMap::of(grid);
+  const int t_count = team.size();
+  const auto tsz = static_cast<std::size_t>(t_count);
+  const auto nsz = static_cast<std::size_t>(cm.nchunks);
+  const auto cps = static_cast<std::size_t>(grid.cells_per_slab());
+  const auto ncells = static_cast<std::size_t>(grid.ncells());
+
+  ColorPlan& plan = out.plan;
+  plan.nchunks = cm.nchunks;
+  plan.ncolors = cm.ncolors();
+  plan.core_lo.assign(nsz, 0);
+  plan.core_hi.assign(nsz, 0);
+  plan.halo_lo.assign(nsz, 0);
+  plan.halo_hi.assign(nsz, 0);
+
+  scratch.core_buf.resize(tsz);
+  scratch.halo_buf.resize(tsz);
+  scratch.core_count.assign(tsz * nsz, 0);
+  scratch.halo_count.assign(tsz * nsz, 0);
+  scratch.core_dst.resize(tsz * nsz);
+  scratch.halo_dst.resize(tsz * nsz);
+
+  // Static cell split, same convention as smp::static_block (remainder
+  // spread over the first members).  Correctness only needs contiguous
+  // ascending ranges; matching the team's convention keeps the split
+  // aligned with the force pass's cell-derived work.
+  auto cell_range = [&](int tid) {
+    const std::size_t chunk = ncells / tsz;
+    const std::size_t rem = ncells % tsz;
+    const auto id = static_cast<std::size_t>(tid);
+    const std::size_t lo = chunk * id + (id < rem ? id : rem);
+    return std::pair<std::size_t, std::size_t>{
+        lo, lo + chunk + (id < rem ? 1 : 0)};
+  };
+
+  team.parallel([&](int tid) {
+    const auto t = static_cast<std::size_t>(tid);
+    const auto [lo, hi] = cell_range(tid);
+    auto& cbuf = scratch.core_buf[t];
+    auto& hbuf = scratch.halo_buf[t];
+    cbuf.clear();
+    hbuf.clear();
+    if (lo < hi) {
+      // Chunks intersecting [lo, hi): chunk k owns the contiguous cell
+      // range [slab_lo(k), slab_hi(k)) * cells_per_slab.
+      const int k_first = cm.chunk_of_slab(
+          grid.slab_of_cell(static_cast<std::int32_t>(lo)));
+      const int k_last = cm.chunk_of_slab(
+          grid.slab_of_cell(static_cast<std::int32_t>(hi - 1)));
+      for (int k = k_first; k <= k_last; ++k) {
+        const auto k_lo = static_cast<std::size_t>(cm.slab_lo(k)) * cps;
+        const auto k_hi = static_cast<std::size_t>(cm.slab_hi(k)) * cps;
+        const std::size_t sub_lo = std::max(lo, k_lo);
+        const std::size_t sub_hi = std::min(hi, k_hi);
+        const std::size_t c0 = cbuf.size(), h0 = hbuf.size();
+        build_links_range(grid, pos, ncore, rc, disp,
+                          static_cast<std::int32_t>(sub_lo),
+                          static_cast<std::int32_t>(sub_hi), cbuf, hbuf);
+        scratch.core_count[t * nsz + static_cast<std::size_t>(k)] =
+            cbuf.size() - c0;
+        scratch.halo_count[t * nsz + static_cast<std::size_t>(k)] =
+            hbuf.size() - h0;
+      }
+    }
+    team.barrier();
+    if (tid == 0) {
+      // Layout: walk chunks in storage-rank order (rank_of_chunk is an
+      // involution, so it also maps rank -> chunk), threads in tid order
+      // within each chunk, assigning destination offsets.
+      std::size_t total_core = 0, total_halo = 0;
+      for (std::size_t x = 0; x < tsz * nsz; ++x) {
+        total_core += scratch.core_count[x];
+        total_halo += scratch.halo_count[x];
+      }
+      out.n_core = total_core;
+      out.links.resize(total_core + total_halo);
+      std::size_t coff = 0, hoff = total_core;
+      for (int r = 0; r < cm.nchunks; ++r) {
+        const auto c = static_cast<std::size_t>(cm.rank_of_chunk(r));
+        plan.core_lo[c] = coff;
+        plan.halo_lo[c] = hoff;
+        for (std::size_t tt = 0; tt < tsz; ++tt) {
+          scratch.core_dst[tt * nsz + c] = coff;
+          scratch.halo_dst[tt * nsz + c] = hoff;
+          coff += scratch.core_count[tt * nsz + c];
+          hoff += scratch.halo_count[tt * nsz + c];
+        }
+        plan.core_hi[c] = coff;
+        plan.halo_hi[c] = hoff;
+      }
+    }
+    team.barrier();
+    // Copy each chunk segment of this thread's buffers to its final slot.
+    std::size_t csrc = 0, hsrc = 0;
+    for (std::size_t k = 0; k < nsz; ++k) {
+      const std::size_t cn = scratch.core_count[t * nsz + k];
+      const std::size_t hn = scratch.halo_count[t * nsz + k];
+      std::copy(cbuf.begin() + static_cast<std::ptrdiff_t>(csrc),
+                cbuf.begin() + static_cast<std::ptrdiff_t>(csrc + cn),
+                out.links.begin() +
+                    static_cast<std::ptrdiff_t>(scratch.core_dst[t * nsz + k]));
+      std::copy(hbuf.begin() + static_cast<std::ptrdiff_t>(hsrc),
+                hbuf.begin() + static_cast<std::ptrdiff_t>(hsrc + hn),
+                out.links.begin() +
+                    static_cast<std::ptrdiff_t>(scratch.halo_dst[t * nsz + k]));
+      csrc += cn;
+      hsrc += hn;
+    }
+  });
 }
 
 }  // namespace hdem

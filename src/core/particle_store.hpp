@@ -99,6 +99,44 @@ class ParticleStore {
     std::copy(id_scratch_.begin(), id_scratch_.end(), id_.begin());
   }
 
+  // Parallel apply_permutation: gathers into scratch over static particle
+  // ranges, then swaps the buffers in, so no serial copy-back remains.
+  // Requires the permutation to cover the whole store (the drivers reorder
+  // before halo copies exist); falls back to the serial path otherwise.
+  // The result is identical to apply_permutation for any team size.
+  template <class Team>
+  void apply_permutation_parallel(std::span<const std::int32_t> perm,
+                                  std::size_t n, Team& team) {
+    if (team.size() <= 1 || n != pos_.size()) {
+      apply_permutation(perm, n);
+      return;
+    }
+    scratch_.resize(n);
+    id_scratch_.resize(n);
+    team.parallel_for(0, static_cast<std::int64_t>(n),
+                      [&](int, std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t k = lo; k < hi; ++k) {
+                          const auto src = static_cast<std::size_t>(
+                              perm[static_cast<std::size_t>(k)]);
+                          scratch_[static_cast<std::size_t>(k)] = pos_[src];
+                          id_scratch_[static_cast<std::size_t>(k)] = id_[src];
+                        }
+                      });
+    pos_.swap(scratch_);
+    id_.swap(id_scratch_);
+    // scratch_ now holds the superseded position buffer; reuse it for the
+    // velocity gather so the reorder stays allocation-free at steady state.
+    team.parallel_for(0, static_cast<std::int64_t>(n),
+                      [&](int, std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t k = lo; k < hi; ++k) {
+                          scratch_[static_cast<std::size_t>(k)] =
+                              vel_[static_cast<std::size_t>(
+                                  perm[static_cast<std::size_t>(k)])];
+                        }
+                      });
+    vel_.swap(scratch_);
+  }
+
  private:
   void permute_into(std::span<const std::int32_t> perm, std::size_t n,
                     std::vector<Vec<D>>& arr) {

@@ -27,6 +27,7 @@
 #include "core/link_list.hpp"
 #include "core/particle_store.hpp"
 #include "trace/tracer.hpp"
+#include "util/timer.hpp"
 
 namespace hdem {
 
@@ -102,23 +103,49 @@ class SerialSim {
   // reorder particles into cell order, regenerate links.
   void rebuild() {
     trace::Scope scope(trace::Phase::kLinkBuild);
-    auto pos = store_.positions();
-    for (auto& x : pos) boundary_.wrap(x);
-    grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
-    grid_.bin(store_.positions(), store_.size());
+    {
+      trace::Scope bin_scope(trace::Phase::kBin);
+      Timer t;
+      auto pos = store_.positions();
+      for (auto& x : pos) boundary_.wrap(x);
+      grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
+      grid_.bin(store_.positions(), store_.size());
+      counters_.rebuild_bin_ns += elapsed_ns(t);
+    }
     if (cfg_.reorder) {
+      trace::Scope reorder_scope(trace::Phase::kReorder);
+      Timer t;
       remap_bonds(grid_.order());
       store_.apply_permutation(grid_.order(), store_.size());
       grid_.reset_order_to_identity();
       ++counters_.reorders;
+      counters_.rebuild_reorder_ns += elapsed_ns(t);
     }
     auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
       return boundary_.displacement(a, b);
     };
     counters_.links_core = 0;
     counters_.links_halo = 0;
-    build_links(links_, grid_, store_.cpositions(), store_.size(),
-                cfg_.cutoff(), disp, &counters_);
+    {
+      trace::Scope gen_scope(trace::Phase::kLinkGen);
+      Timer t;
+      links_.clear();
+      links_.halo_scratch.clear();
+      build_links_range(grid_, store_.cpositions(), store_.size(),
+                        cfg_.cutoff(), disp, 0, grid_.ncells(), links_.links,
+                        links_.halo_scratch);
+      links_.n_core = links_.links.size();
+      links_.links.insert(links_.links.end(), links_.halo_scratch.begin(),
+                          links_.halo_scratch.end());
+      counters_.rebuild_linkgen_ns += elapsed_ns(t);
+    }
+    {
+      trace::Scope plan_scope(trace::Phase::kColorPlan);
+      Timer t;
+      build_color_plan(links_, grid_, store_.cpositions());
+      counters_.rebuild_colorplan_ns += elapsed_ns(t);
+    }
+    record_link_stats(links_, counters_);
     refresh_id_index();
     drift_ = 0.0;
     ++counters_.rebuilds;
@@ -148,6 +175,10 @@ class SerialSim {
     std::array<bool, D> w{};
     w.fill(boundary_.periodic());
     return w;
+  }
+
+  static std::uint64_t elapsed_ns(const Timer& t) {
+    return static_cast<std::uint64_t>(t.seconds() * 1e9);
   }
 
   template <class Disp>

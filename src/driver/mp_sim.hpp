@@ -36,6 +36,7 @@
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
 #include "trace/tracer.hpp"
+#include "util/timer.hpp"
 
 namespace hdem {
 
@@ -278,15 +279,36 @@ class MpSim {
     }
 
     const Vec<D> rc_vec(cfg_.cutoff());
-    for (auto& b : blocks_) {
-      b.grid.configure(b.lo - rc_vec, b.hi + rc_vec, cfg_.cutoff(),
-                       no_wrap());
-      b.grid.bin(b.store.positions(), b.ncore);
-      if (cfg_.reorder) {
-        b.store.apply_permutation(b.grid.order(), b.ncore);
+    {
+      // Core-only binning for the reorder permutation and halo templates.
+      // The hybrid scheme runs the whole pipeline on the team; the pure
+      // message-passing scheme keeps the serial counting sort per block.
+      trace::Scope scope(trace::Phase::kBin, comm_->rank());
+      Timer t;
+      for (auto& b : blocks_) {
+        b.grid.configure(b.lo - rc_vec, b.hi + rc_vec, cfg_.cutoff(),
+                         no_wrap());
+        if (team_) {
+          b.grid.bin_parallel(b.store.cpositions(), b.ncore, *team_);
+        } else {
+          b.grid.bin(b.store.positions(), b.ncore);
+        }
+      }
+      counters_.rebuild_bin_ns += elapsed_ns(t);
+    }
+    if (cfg_.reorder) {
+      trace::Scope scope(trace::Phase::kReorder, comm_->rank());
+      Timer t;
+      for (auto& b : blocks_) {
+        if (team_) {
+          b.store.apply_permutation_parallel(b.grid.order(), b.ncore, *team_);
+        } else {
+          b.store.apply_permutation(b.grid.order(), b.ncore);
+        }
         b.grid.reset_order_to_identity();
         ++counters_.reorders;
       }
+      counters_.rebuild_reorder_ns += elapsed_ns(t);
     }
     {
       trace::Scope scope(trace::Phase::kHaloBuild, comm_->rank());
@@ -301,9 +323,44 @@ class MpSim {
     trace::Scope link_scope(trace::Phase::kLinkBuild, comm_->rank());
     for (std::size_t k = 0; k < blocks_.size(); ++k) {
       auto& b = blocks_[k];
-      b.grid.bin(b.store.positions(), b.store.size());
-      build_links(b.links, b.grid, b.store.cpositions(), b.ncore,
-                  cfg_.cutoff(), disp, nullptr);
+      {
+        // Re-bin including the fresh halo copies.
+        trace::Scope scope(trace::Phase::kBin, comm_->rank());
+        Timer t;
+        if (team_) {
+          b.grid.bin_parallel(b.store.cpositions(), b.store.size(), *team_);
+        } else {
+          b.grid.bin(b.store.positions(), b.store.size());
+        }
+        counters_.rebuild_bin_ns += elapsed_ns(t);
+      }
+      if (team_) {
+        // Fused build: list + color plan in one pass (see link_list.hpp).
+        trace::Scope scope(trace::Phase::kLinkGen, comm_->rank());
+        Timer t;
+        build_links_fused(b.links, b.grid, b.store.cpositions(), b.ncore,
+                          cfg_.cutoff(), disp, *team_, fused_link_scratch_);
+        counters_.rebuild_linkgen_ns += elapsed_ns(t);
+      } else {
+        {
+          trace::Scope scope(trace::Phase::kLinkGen, comm_->rank());
+          Timer t;
+          b.links.clear();
+          b.links.halo_scratch.clear();
+          build_links_range(b.grid, b.store.cpositions(), b.ncore,
+                            cfg_.cutoff(), disp, 0, b.grid.ncells(),
+                            b.links.links, b.links.halo_scratch);
+          b.links.n_core = b.links.links.size();
+          b.links.links.insert(b.links.links.end(),
+                               b.links.halo_scratch.begin(),
+                               b.links.halo_scratch.end());
+          counters_.rebuild_linkgen_ns += elapsed_ns(t);
+        }
+        trace::Scope scope(trace::Phase::kColorPlan, comm_->rank());
+        Timer t;
+        build_color_plan(b.links, b.grid, b.store.cpositions());
+        counters_.rebuild_colorplan_ns += elapsed_ns(t);
+      }
       record_link_stats(b.links, counters_);
       counters_.halo_particles += b.halo_count();
       counters_.particles += b.ncore;
@@ -532,6 +589,10 @@ class MpSim {
     return w;
   }
 
+  static std::uint64_t elapsed_ns(const Timer& t) {
+    return static_cast<std::uint64_t>(t.seconds() * 1e9);
+  }
+
   double reduce_energy(double local) {
     return comm_->allreduce(local, mp::Op::kSum);
   }
@@ -546,6 +607,7 @@ class MpSim {
   std::unique_ptr<smp::ThreadTeam> team_;
   std::vector<AnyAccumulator<D>> accs_;
   std::vector<BlockDomain<D>> blocks_;
+  FusedBuildScratch fused_link_scratch_;  // hybrid rebuild, reused per block
   // Global prefix offsets for the fused scheme's single static partitions
   // (whole list, plus the overlapped schedule's per-section partitions).
   std::vector<std::int64_t> link_offset_;

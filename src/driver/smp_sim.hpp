@@ -24,6 +24,8 @@
 #include "core/particle_store.hpp"
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
+#include "trace/tracer.hpp"
+#include "util/timer.hpp"
 
 namespace hdem {
 
@@ -76,25 +78,50 @@ class SmpSim {
 
   bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
 
+  // The whole rebuild pipeline runs thread-parallel: wrap, binning
+  // (two-level counting sort), cell-order reorder (parallel gather), and
+  // the fused link build, which emits the list already in the color plan's
+  // canonical order.  Every stage is exactly reproducing its serial
+  // counterpart's output, so trajectories stay bit-identical for any team
+  // size.
   void rebuild() {
-    // Wrap positions (parallel over particles).
-    team_.parallel_for(0, static_cast<std::int64_t>(store_.size()),
-                       [&](int, std::int64_t lo, std::int64_t hi) {
-                         auto pos = store_.positions();
-                         for (std::int64_t i = lo; i < hi; ++i) {
-                           boundary_.wrap(pos[static_cast<std::size_t>(i)]);
-                         }
-                       });
-    grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
-    // The counting sort has a serial scan; the paper likewise reports that
-    // link generation "scales rather poorly" and is not time-critical.
-    grid_.bin(store_.positions(), store_.size());
+    trace::Scope rebuild_scope(trace::Phase::kLinkBuild);
+    {
+      trace::Scope scope(trace::Phase::kBin);
+      Timer t;
+      // Wrap positions (parallel over particles).
+      team_.parallel_for(0, static_cast<std::int64_t>(store_.size()),
+                         [&](int, std::int64_t lo, std::int64_t hi) {
+                           auto pos = store_.positions();
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             boundary_.wrap(pos[static_cast<std::size_t>(i)]);
+                           }
+                         });
+      grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
+      grid_.bin_parallel(store_.cpositions(), store_.size(), team_);
+      counters_.rebuild_bin_ns += elapsed_ns(t);
+    }
     if (cfg_.reorder) {
-      store_.apply_permutation(grid_.order(), store_.size());
+      trace::Scope scope(trace::Phase::kReorder);
+      Timer t;
+      store_.apply_permutation_parallel(grid_.order(), store_.size(), team_);
       grid_.reset_order_to_identity();
       ++counters_.reorders;
+      counters_.rebuild_reorder_ns += elapsed_ns(t);
     }
-    parallel_build_links();
+    {
+      trace::Scope scope(trace::Phase::kLinkGen);
+      Timer t;
+      auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
+        return boundary_.displacement(a, b);
+      };
+      build_links_fused(links_, grid_, store_.cpositions(), store_.size(),
+                        cfg_.cutoff(), disp, team_, fused_scratch_);
+      counters_.links_core = 0;
+      counters_.links_halo = 0;
+      record_link_stats(links_, counters_);
+      counters_.rebuild_linkgen_ns += elapsed_ns(t);
+    }
     prepare_accumulator<D>(acc_, team_.size(), links_, store_.size());
     drift_ = 0.0;
     ++counters_.rebuilds;
@@ -127,39 +154,8 @@ class SmpSim {
     return w;
   }
 
-  // Link generation parallelised over cells: each thread builds links for
-  // a contiguous cell range into private buffers, which are then spliced
-  // (core links first, halo links after — here there are no halo links).
-  void parallel_build_links() {
-    const int t_count = team_.size();
-    per_thread_core_.assign(static_cast<std::size_t>(t_count), {});
-    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
-      return boundary_.displacement(a, b);
-    };
-    team_.parallel_for(
-        0, grid_.ncells(), [&](int tid, std::int64_t lo, std::int64_t hi) {
-          std::vector<Link> halo;  // stays empty: every particle is core
-          build_links_range(grid_, store_.cpositions(), store_.size(),
-                            cfg_.cutoff(), disp, static_cast<std::int32_t>(lo),
-                            static_cast<std::int32_t>(hi),
-                            per_thread_core_[static_cast<std::size_t>(tid)],
-                            halo);
-        });
-    links_.clear();
-    std::size_t total = 0;
-    for (const auto& v : per_thread_core_) total += v.size();
-    links_.links.reserve(total);
-    for (const auto& v : per_thread_core_) {
-      links_.links.insert(links_.links.end(), v.begin(), v.end());
-    }
-    links_.n_core = links_.links.size();
-    // Group into conflict-free color classes (also re-establishes the
-    // canonical pair-swapped chunk order, so the splice's
-    // thread-count-dependent seams never affect traversal order).
-    build_color_plan(links_, grid_, store_.cpositions());
-    counters_.links_core = 0;
-    counters_.links_halo = 0;
-    record_link_stats(links_, counters_);
+  static std::uint64_t elapsed_ns(const Timer& t) {
+    return static_cast<std::uint64_t>(t.seconds() * 1e9);
   }
 
   SimConfig<D> cfg_;
@@ -171,7 +167,7 @@ class SmpSim {
   ParticleStore<D> store_;
   CellGrid<D> grid_;
   LinkList links_;
-  std::vector<std::vector<Link>> per_thread_core_;
+  FusedBuildScratch fused_scratch_;
   double potential_ = 0.0;
   double drift_ = 0.0;
   Counters counters_;

@@ -189,6 +189,28 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
                          static_cast<double>(run.iterations));
   out.comm += lmsgs * machine.lat_local +
               lbytes * saturation / std::max(machine.reduction_bw, 1.0);
+  // Amortised list-rebuild cost.  agg.rebuilds is a per-rank count (it
+  // merges by max), so rebuilds / iterations is the drift-driven rebuild
+  // frequency; steady-state measurement windows that exclude rebuilds
+  // leave the term at zero.  Binning, reordering and link generation run
+  // on the rank's team; the prefix-scan/layout share (t_scan) is the
+  // rebuild's serial fraction and is paid at full cost per rebuild.
+  const double rebuilds_per_iter = static_cast<double>(run.agg.rebuilds) /
+                                   static_cast<double>(run.iterations);
+  if (rebuilds_per_iter > 0.0) {
+    const double n_rank = static_cast<double>(run.agg.particles) *
+                          layout.count_scale /
+                          static_cast<double>(run.nprocs);
+    const double links_rank =
+        static_cast<double>(run.agg.links_core + run.agg.links_halo) *
+        layout.count_scale / static_cast<double>(run.nprocs);
+    const double per_particle =
+        machine.t_bin + (run.reordered ? machine.t_reorder : 0.0);
+    out.rebuild = rebuilds_per_iter *
+                  ((n_rank * per_particle + links_rank * machine.t_linkgen) /
+                       t_count +
+                   n_rank * machine.t_scan);
+  }
   return out;
 }
 

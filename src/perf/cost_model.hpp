@@ -51,12 +51,13 @@ struct CostBreakdown {
   double reduction = 0.0;  // private-array zero+merge traffic
   double sync = 0.0;       // fork/join + barriers + criticals
   double comm = 0.0;       // halo swaps, migration, collectives
+  double rebuild = 0.0;    // amortised list rebuild (bin/reorder/linkgen)
   // Halo byte cost hidden behind core-link compute by the overlapped
   // schedule (measured overlapped/exposed split).  Informational: comm is
   // already net of this, so it does not enter total().
   double comm_hidden = 0.0;
   double total() const {
-    return compute + memory + atomic + reduction + sync + comm;
+    return compute + memory + atomic + reduction + sync + comm + rebuild;
   }
 };
 

@@ -15,6 +15,10 @@ MachineSpec t3e900() {
   m.t_pair = 4.0e-7;
   m.t_update = 3.0e-7;
   m.t_mem = 4.0e-7;
+  m.t_bin = 1.5e-7;
+  m.t_reorder = 1.2e-7;
+  m.t_linkgen = 2.5e-7;
+  m.t_scan = 2.0e-8;
   m.cache_bytes = 96.0e3;  // EV5.6 on-chip L2
   m.cache_l1_bytes = 8.0e3;  // EV5 L1 D-cache
   m.mem_saturation = 0.0;  // one CPU per memory system
@@ -41,6 +45,10 @@ MachineSpec sun_hpc3500() {
   m.t_pair = 3.5e-7;
   m.t_update = 3.0e-7;
   m.t_mem = 3.0e-7;
+  m.t_bin = 1.5e-7;
+  m.t_reorder = 1.2e-7;
+  m.t_linkgen = 2.2e-7;
+  m.t_scan = 2.0e-8;
   m.cache_bytes = 4.0e6;  // UltraSPARC-II external cache
   m.cache_l1_bytes = 16.0e3;  // on-chip D-cache
   m.mem_saturation = 0.18;
@@ -66,6 +74,10 @@ MachineSpec compaq_es40_cluster() {
   m.t_pair = 1.6e-7;
   m.t_update = 1.5e-7;
   m.t_mem = 2.0e-7;
+  m.t_bin = 8.0e-8;
+  m.t_reorder = 6.0e-8;
+  m.t_linkgen = 1.2e-7;
+  m.t_scan = 1.0e-8;
   m.cache_bytes = 4.0e6;  // EV6 B-cache
   m.cache_l1_bytes = 64.0e3;  // EV6 L1 D-cache
   m.mem_saturation = 0.35;  // node memory saturates with 4 busy CPUs
@@ -91,6 +103,10 @@ MachineSpec generic_host() {
   m.t_pair = 2.0e-8;
   m.t_update = 2.0e-8;
   m.t_mem = 3.0e-8;
+  m.t_bin = 1.0e-8;
+  m.t_reorder = 6.0e-9;
+  m.t_linkgen = 1.5e-8;
+  m.t_scan = 1.5e-9;
   m.cache_bytes = 8.0e6;
   m.cache_l1_bytes = 32.0e3;
   m.mem_saturation = 0.2;

@@ -30,6 +30,17 @@ struct MachineSpec {
   double t_mem = 0.0;     // per-link penalty for an access past the L2 cache
   double t_mem_l1 = 0.0;  // per-link penalty for an L1 miss that hits L2
 
+  // List-rebuild kernel costs (seconds per element).  Not fitted against
+  // the paper (its timed loops exclude link generation, which it calls
+  // "not time-critical"); set to plausible multiples of the platform's
+  // per-particle update cost so the amortised rebuild term has the right
+  // magnitude.  t_scan is the rebuild's serial fraction (prefix scans and
+  // section layout), paid once per rebuild regardless of team size.
+  double t_bin = 0.0;      // per particle: cell assignment + scatter
+  double t_reorder = 0.0;  // per particle: cell-order gather (when enabled)
+  double t_linkgen = 0.0;  // per link: generation incl. distance tests
+  double t_scan = 0.0;     // per particle: serial scan/layout share
+
   // Two-level cache model: an access whose reuse span exceeds
   // cache_l1_bytes costs t_mem_l1; one exceeding cache_bytes costs t_mem
   // instead.

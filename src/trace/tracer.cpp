@@ -24,6 +24,9 @@ const char* to_string(Phase p) {
     case Phase::kMigrate: return "migrate";
     case Phase::kHaloBuild: return "halo-build";
     case Phase::kLinkBuild: return "link-build";
+    case Phase::kBin: return "bin";
+    case Phase::kLinkGen: return "link-gen";
+    case Phase::kColorPlan: return "color-plan";
     case Phase::kReorder: return "reorder";
     case Phase::kCollective: return "collective";
     case Phase::kIteration: return "iteration";

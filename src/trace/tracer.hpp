@@ -27,14 +27,17 @@ enum class Phase : std::uint8_t {
   kHaloWait,     // halo swap completion: exposed wait + corner forwarding
   kMigrate,      // particle re-homing at rebuild
   kHaloBuild,    // halo template construction at rebuild
-  kLinkBuild,    // binning + link generation at rebuild
+  kLinkBuild,    // whole list rebuild (outer bracket over the sub-phases)
+  kBin,          // counting-sort binning into cells
+  kLinkGen,      // link generation over cells
+  kColorPlan,    // color-plan chunk sort (zero when fused into kLinkGen)
   kReorder,      // cell-order particle permutation
   kCollective,   // reductions / gathers
   kIteration,    // one whole step (outer bracket)
 };
 
 const char* to_string(Phase p);
-inline constexpr int kPhaseCount = 10;
+inline constexpr int kPhaseCount = 13;
 
 struct Event {
   Phase phase;
