@@ -12,6 +12,7 @@
 #include "mp/indexed.hpp"
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
+#include "util/simd.hpp"
 
 namespace hdem {
 namespace {
@@ -49,6 +50,78 @@ struct System {
                 disp);
   }
 };
+
+// System, templated over dimension, for the SIMD width series (always
+// cell-ordered — the layout the batched kernel's vector gathers assume in
+// production).
+template <int D>
+struct SystemD {
+  SimConfig<D> cfg;
+  Boundary<D> bc;
+  ParticleStore<D> store;
+  CellGrid<D> grid;
+  LinkList list;
+
+  explicit SystemD(std::uint64_t n) {
+    cfg.box = Vec<D>(SimConfig<D>::paper_box_edge(n));
+    bc = Boundary<D>(cfg.bc, cfg.box);
+    for (const auto& p : uniform_random_particles(cfg, n)) {
+      store.push_back(p.pos, p.vel);
+    }
+    std::array<bool, D> wrap{};
+    wrap.fill(true);
+    grid.configure(Vec<D>{}, cfg.box, cfg.cutoff(), wrap);
+    grid.bin(store.positions(), store.size());
+    store.apply_permutation(grid.order(), store.size());
+    grid.reset_order_to_identity();
+    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
+      return bc.displacement(a, b);
+    };
+    build_links(list, grid, store.cpositions(), store.size(), cfg.cutoff(),
+                disp);
+  }
+};
+
+// Per-width ns/link of the batched pair kernel (args: n, model, width;
+// model 0 = elastic, 1 = dissipative).  Widths the build or CPU cannot
+// dispatch are skipped rather than silently clamped.
+template <int D>
+void BM_SimdForceLoop(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(2));
+  if (width > 1 &&
+      (width > simd::kMaxWidth || !simd::cpu_supports_width(width))) {
+    state.SkipWithError("SIMD width not supported by this build/CPU");
+    return;
+  }
+  SystemD<D> sys(static_cast<std::uint64_t>(state.range(0)));
+  const PairDisp<D> disp = sys.bc.pair_disp();
+  const ElasticSphere elastic{sys.cfg.stiffness, sys.cfg.diameter};
+  const DissipativeSphere dissipative{sys.cfg.stiffness, 1.0,
+                                      sys.cfg.diameter};
+  const bool use_elastic = state.range(1) == 0;
+  simd::set_dispatch_width(width);
+  for (auto _ : state) {
+    zero_forces(sys.store);
+    const double pe =
+        use_elastic ? accumulate_forces<D>(sys.list.core(), sys.store,
+                                           elastic, disp, true, 1.0)
+                    : accumulate_forces<D>(sys.list.core(), sys.store,
+                                           dissipative, disp, true, 1.0);
+    benchmark::DoNotOptimize(pe);
+  }
+  simd::set_dispatch_width(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.list.size()));
+  state.counters["links"] = static_cast<double>(sys.list.size());
+  state.SetLabel(std::string(use_elastic ? "elastic" : "dissipative") +
+                 "/w" + std::to_string(width));
+}
+BENCHMARK_TEMPLATE(BM_SimdForceLoop, 2)
+    ->ArgNames({"n", "model", "W"})
+    ->ArgsProduct({{30000}, {0, 1}, {1, 2, 4}});
+BENCHMARK_TEMPLATE(BM_SimdForceLoop, 3)
+    ->ArgNames({"n", "model", "W"})
+    ->ArgsProduct({{20000}, {0, 1}, {1, 2, 4}});
 
 void BM_ForceLoop(benchmark::State& state) {
   System sys(static_cast<std::uint64_t>(state.range(0)), state.range(1) != 0);

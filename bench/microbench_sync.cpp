@@ -118,6 +118,15 @@ int main(int argc, char** argv) {
   // The paper's estimate: regions + barriers per block per iteration.
   // Our hybrid force pass costs 2 regions (force, update) and 1 barrier
   // per block per iteration with the selected-atomic strategy.
+  // Measured vector-kernel throughput at the active ISA; the generic-host
+  // spec records the gain so cost-model predictions track the vectorized
+  // kernel, and the machine report names the ISA the kernels dispatch to.
+  const auto kt = perf::measure_kernel_throughput();
+  out << "Vector kernel throughput: " << perf::format(kt) << "\n";
+  perf::MachineSpec host = perf::generic_host();
+  perf::apply_kernel_throughput(host, kt);
+  out << perf::machine_report(host) << "\n\n";
+
   const double per_block = perf::per_block_sync_cost(quad, 2.0, 1.0);
   out << "Per-block-per-iteration sync cost on this host (T=4): "
       << Table::num(per_block * 1e6, 1) << " us\n"

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "core/config.hpp"
+#include "core/pair_disp.hpp"
 #include "util/vec.hpp"
 
 namespace hdem {
@@ -23,6 +24,10 @@ class Boundary {
   BoundaryKind kind() const { return kind_; }
   const Vec<D>& box() const { return box_; }
   bool periodic() const { return kind_ == BoundaryKind::kPeriodic; }
+
+  // The pair-displacement functor the batched kernel's vector gather phase
+  // can see through (its scalar form equals displacement() below).
+  PairDisp<D> pair_disp() const { return PairDisp<D>{box_, periodic()}; }
 
   // Displacement xi - xj under the minimum-image convention (periodic) or
   // plainly (walls).  Valid for |xi - xj| < box/2 per dimension.

@@ -14,6 +14,7 @@
 #include "core/link_list.hpp"
 #include "core/pair_kernel.hpp"
 #include "core/particle_store.hpp"
+#include "util/simd.hpp"
 #include "util/vec.hpp"
 
 namespace hdem {
@@ -50,21 +51,134 @@ double accumulate_forces(std::span<const Link> links, ParticleStore<D>& store,
   return pe;
 }
 
+namespace detail {
+
+// Packed kick-drift over the periodic path.  The Vec arithmetic of the
+// scalar loop is per-component, so the whole range is one flat elementwise
+// pass over 3 dense double arrays with the gravity components broadcast in
+// a repeating pattern; the per-particle max-speed reduction runs as a
+// second pass of per-lane norm2 via strided component loads (max over
+// non-NaN doubles is order-independent, so a pack max + tail is exact).
+// Every lane computes exactly what the scalar expression computes.
+template <int D, int W>
+double kick_drift_range_w(ParticleStore<D>& store, std::size_t lo,
+                          std::size_t hi, double dt, const Vec<D>& gravity) {
+  using P = simd::pack<double, W>;
+  static_assert(sizeof(Vec<D>) == D * sizeof(double),
+                "flat-double view of Vec<D> requires dense layout");
+  auto pos = store.positions();
+  auto vel = store.velocities();
+  auto frc = store.forces();
+  double* posf = reinterpret_cast<double*>(pos.data());
+  double* velf = reinterpret_cast<double*>(vel.data());
+  const double* frcf = reinterpret_cast<const double*>(frc.data());
+  const P pdt = P::broadcast(dt);
+
+  // gp[r].lane(l) = gravity[(r + l) % D] for a chunk starting at flat
+  // index q with q % D == r.
+  P gp[D];
+  for (int r = 0; r < D; ++r) {
+    double tmp[W];
+    for (int l = 0; l < W; ++l) tmp[l] = gravity[(r + l) % D];
+    gp[r] = P::load(tmp);
+  }
+
+  const std::size_t q1 = hi * D;
+  std::size_t q = lo * D;
+  int r = static_cast<int>(q % static_cast<std::size_t>(D));
+  for (; q + W <= q1; q += W) {
+    P v = P::load(velf + q);
+    const P f = P::load(frcf + q);
+    v = v + (f + gp[r]) * pdt;
+    v.store(velf + q);
+    P x = P::load(posf + q);
+    x = x + v * pdt;
+    x.store(posf + q);
+    r = (r + W) % D;
+  }
+  for (; q < q1; ++q) {
+    velf[q] += (frcf[q] + gravity[static_cast<int>(q % D)]) * dt;
+    posf[q] += velf[q] * dt;
+  }
+
+  double max_v2 = 0.0;
+  std::size_t i = lo;
+  if (i + W <= hi) {
+    P pmax = P::zero();
+    for (; i + W <= hi; i += W) {
+      P acc = P::zero();
+      for (int d = 0; d < D; ++d) {
+        const P c = P::strided(velf + i * D + static_cast<std::size_t>(d), D);
+        acc = acc + c * c;
+      }
+      pmax = max(pmax, acc);
+    }
+    max_v2 = pmax.hmax();
+  }
+  for (; i < hi; ++i) {
+    const double v2 = norm2(vel[i]);
+    if (v2 > max_v2) max_v2 = v2;
+  }
+  return std::sqrt(max_v2);
+}
+
+template <int D, int W>
+double kinetic_energy_w(std::span<const Vec<D>> vel, std::size_t ncore) {
+  using P = simd::pack<double, W>;
+  static_assert(sizeof(Vec<D>) == D * sizeof(double));
+  const double* velf = reinterpret_cast<const double*>(vel.data());
+  double ke = 0.0;
+  double tmp[W];
+  std::size_t i = 0;
+  for (; i + W <= ncore; i += W) {
+    P acc = P::zero();
+    for (int d = 0; d < D; ++d) {
+      const P c = P::strided(velf + i * D + static_cast<std::size_t>(d), D);
+      acc = acc + c * c;
+    }
+    // Lanes hold per-particle 0.5*|v|^2; accumulate them scalar in
+    // particle order so the sum matches the serial loop bit for bit.
+    (P::broadcast(0.5) * acc).store(tmp);
+    for (int l = 0; l < W; ++l) ke += tmp[l];
+  }
+  for (; i < ncore; ++i) ke += 0.5 * norm2(vel[i]);
+  return ke;
+}
+
+}  // namespace detail
+
 // Second-order kick-drift (leapfrog) update of the first ncore particles:
 //   v += (f + g) dt;  x += v dt
 // followed by wall reflection when the boundary has hard walls (periodic
 // wrapping is deferred to the next rebuild).  Returns the maximum particle
 // speed, from which the caller advances its drift bound for the link-list
-// validity test.
+// validity test.  The periodic path runs on simd packs at the dispatch
+// width (bit-identical to the scalar loop); the walls path keeps the
+// scalar loop because reflection is branchy and only the sandpile
+// examples use it.
 template <int D>
 double kick_drift_range(ParticleStore<D>& store, std::size_t lo,
                         std::size_t hi, double dt, const Vec<D>& gravity,
                         const Boundary<D>& bc, Counters* counters = nullptr) {
+  const bool walls = bc.kind() == BoundaryKind::kWalls;
+  if (counters != nullptr) counters->position_updates += hi - lo;
+  if (!walls) {
+    const int w = simd::dispatch_width();
+    if constexpr (simd::kMaxWidth >= 4) {
+      if (w >= 4) {
+        return detail::kick_drift_range_w<D, 4>(store, lo, hi, dt, gravity);
+      }
+    }
+    if constexpr (simd::kMaxWidth >= 2) {
+      if (w >= 2) {
+        return detail::kick_drift_range_w<D, 2>(store, lo, hi, dt, gravity);
+      }
+    }
+  }
   auto pos = store.positions();
   auto vel = store.velocities();
   auto frc = store.forces();
   double max_v2 = 0.0;
-  const bool walls = bc.kind() == BoundaryKind::kWalls;
   for (std::size_t i = lo; i < hi; ++i) {
     vel[i] += (frc[i] + gravity) * dt;
     pos[i] += vel[i] * dt;
@@ -72,7 +186,6 @@ double kick_drift_range(ParticleStore<D>& store, std::size_t lo,
     const double v2 = norm2(vel[i]);
     if (v2 > max_v2) max_v2 = v2;
   }
-  if (counters != nullptr) counters->position_updates += hi - lo;
   return std::sqrt(max_v2);
 }
 
@@ -83,11 +196,20 @@ double kick_drift(ParticleStore<D>& store, std::size_t ncore, double dt,
   return kick_drift_range(store, 0, ncore, dt, gravity, bc, counters);
 }
 
-// Kinetic energy of the first ncore particles (unit mass).
+// Kinetic energy of the first ncore particles (unit mass).  The per-
+// particle 0.5*|v|^2 lanes are vectorized; the accumulation stays scalar
+// in particle order so the result is bit-identical at every width.
 template <int D>
 double kinetic_energy(const ParticleStore<D>& store, std::size_t ncore) {
-  double ke = 0.0;
   auto vel = store.velocities();
+  const int w = simd::dispatch_width();
+  if constexpr (simd::kMaxWidth >= 4) {
+    if (w >= 4) return detail::kinetic_energy_w<D, 4>(vel, ncore);
+  }
+  if constexpr (simd::kMaxWidth >= 2) {
+    if (w >= 2) return detail::kinetic_energy_w<D, 2>(vel, ncore);
+  }
+  double ke = 0.0;
   for (std::size_t i = 0; i < ncore; ++i) ke += 0.5 * norm2(vel[i]);
   return ke;
 }

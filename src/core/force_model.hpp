@@ -14,9 +14,22 @@
 // scalar such that the force on particle i is s * (xi - xj) (and -s on j),
 // and pe is the pair potential energy.  pair() returns false when the pair
 // does not interact at this separation (s and pe are then unspecified).
+//
+// Each model also provides the packed form the batched kernel's compute
+// phase dispatches to:
+//   template <class P> simd::mask<P::width>
+//   pair_packed(const P& r2, const P& rv, P& s, P& pe) const;
+// evaluating W lanes at once with the interaction test as the returned
+// mask.  Every packed expression mirrors the scalar one operation for
+// operation (same literals, same association, exact-division rcp), so a
+// lane is bit-identical to the scalar call on the same inputs — masked-out
+// lanes may hold garbage (e.g. inf from rcp(0)), exactly as the scalar
+// out-params are unspecified on a false return.
 #pragma once
 
 #include <cmath>
+
+#include "util/simd.hpp"
 
 namespace hdem {
 
@@ -36,6 +49,18 @@ struct ElasticSphere {
     s = k * overlap * inv;
     pe = 0.5 * k * overlap * overlap;
     return true;
+  }
+
+  template <class P>
+  simd::mask<P::width> pair_packed(const P& r2, const P& /*rv*/, P& s,
+                                   P& pe) const {
+    const auto interact = r2 < P::broadcast(d * d);
+    const P r = sqrt(r2);
+    const P inv = rcp(r);
+    const P overlap = P::broadcast(d) - r;
+    s = P::broadcast(k) * overlap * inv;
+    pe = P::broadcast(0.5 * k) * overlap * overlap;
+    return interact;
   }
 };
 
@@ -60,6 +85,18 @@ struct DissipativeSphere {
     pe = 0.5 * k * overlap * overlap;
     return true;
   }
+
+  template <class P>
+  simd::mask<P::width> pair_packed(const P& r2, const P& rv, P& s,
+                                   P& pe) const {
+    const auto interact = r2 < P::broadcast(d * d);
+    const P r = sqrt(r2);
+    const P inv = rcp(r);
+    const P overlap = P::broadcast(d) - r;
+    s = (P::broadcast(k) * overlap - P::broadcast(gamma) * rv * inv) * inv;
+    pe = P::broadcast(0.5 * k) * overlap * overlap;
+    return interact;
+  }
 };
 
 // Permanent dissipative spring (grain bond):
@@ -80,6 +117,17 @@ struct BondedSpring {
     s = (-ks * stretch - gamma * rv * inv) * inv;
     pe = 0.5 * ks * stretch * stretch;
     return true;
+  }
+
+  template <class P>
+  simd::mask<P::width> pair_packed(const P& r2, const P& rv, P& s,
+                                   P& pe) const {
+    const P r = sqrt(r2);
+    const P inv = rcp(r);
+    const P stretch = r - P::broadcast(rest);
+    s = (P::broadcast(-ks) * stretch - P::broadcast(gamma) * rv * inv) * inv;
+    pe = P::broadcast(0.5 * ks) * stretch * stretch;
+    return simd::mask<P::width>::all_true();
   }
 };
 

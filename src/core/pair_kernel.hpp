@@ -1,0 +1,187 @@
+// Batched gather/compute/scatter evaluation of a pair force model over a
+// link range — the restructured hot loop shared by the serial driver and
+// every threaded force pass.
+//
+// The naive loop interleaves indirect loads (pos[i], pos[j]), the model
+// arithmetic and indirect stores, which defeats vectorisation.  Here each
+// fixed-width batch of links is processed in three flat phases:
+//
+//   gather   dx = disp(pos[i], pos[j]), r2 = |dx|^2 (and rv for velocity-
+//            dependent models) into small contiguous SoA scratch arrays.
+//            When the displacement is a PairDisp (every driver), the loads
+//            run as explicit simd::pack gathers through the link index
+//            arrays, W links at a time.
+//   compute  Model::pair over the scratch arrays — the paper's "one square
+//            root and one inverse" — as explicit sqrt/rcp pack lanes via
+//            Model::pair_packed, with the interaction test as a lane mask.
+//   scatter  f = s * dx emitted to the caller's sink strictly in link
+//            order.  This phase stays scalar BY DESIGN: force and
+//            potential-energy accumulation order is what bit-identity
+//            across widths hinges on, so lane results are consumed in
+//            fixed link order, never reduced as a tree.
+//
+// The pack width is chosen once per call from simd::dispatch_width(); the
+// width-1 instantiation is the plain scalar loop (and handles batch tails
+// m % W != 0 at every width).  All paths perform bit-identical arithmetic
+// in bit-identical per-link order, so trajectories are unchanged; only the
+// instruction schedule differs.  See DESIGN.md §3.4.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "core/link_list.hpp"
+#include "core/pair_disp.hpp"
+#include "util/simd.hpp"
+#include "util/vec.hpp"
+
+namespace hdem {
+
+inline constexpr std::size_t kPairBatch = 64;
+
+namespace detail {
+
+// Models that provide a packed compute phase (all of the built-in ones).
+template <class Model, class P>
+concept PackedPairModel =
+    requires(const Model& m, const P& x, P& s, P& e) {
+      { m.pair_packed(x, x, s, e).any() } -> std::convertible_to<bool>;
+    };
+
+template <int D, int W, class Model, class Disp, class Sink>
+double batched_pair_links_w(std::span<const Link> links,
+                            std::span<const Vec<D>> pos,
+                            std::span<const Vec<D>> vel, const Model& model,
+                            Disp&& disp, bool update_both, double pe_weight,
+                            std::uint64_t& contacts, Sink&& sink) {
+  using P = simd::pack<double, W>;
+  constexpr bool kVel = Model::needs_velocity;
+  constexpr bool kPackedDisp =
+      std::is_same_v<std::remove_cvref_t<Disp>, PairDisp<D>>;
+  static_assert(sizeof(Vec<D>) == D * sizeof(double),
+                "flat-double view of Vec<D> requires dense layout");
+
+  double pe = 0.0;
+  const std::size_t n = links.size();
+  [[maybe_unused]] const double* posf =
+      reinterpret_cast<const double*>(pos.data());
+  [[maybe_unused]] const double* velf =
+      reinterpret_cast<const double*>(vel.data());
+
+  double dxs[D][kPairBatch];  // displacement components, SoA per batch
+  double r2[kPairBatch];
+  double rv[kPairBatch];  // written only when the model needs velocity
+  double s[kPairBatch];
+  double e[kPairBatch];
+  unsigned char hit[kPairBatch];
+  std::int32_t ii[kPairBatch];
+  std::int32_t jj[kPairBatch];
+
+  for (std::size_t base = 0; base < n; base += kPairBatch) {
+    const std::size_t m = std::min(kPairBatch, n - base);
+    for (std::size_t k = 0; k < m; ++k) {
+      ii[k] = links[base + k].i;
+      jj[k] = links[base + k].j;
+    }
+
+    // --- gather ---------------------------------------------------------
+    std::size_t k = 0;
+    if constexpr (W > 1 && kPackedDisp) {
+      for (; k + W <= m; k += W) {
+        P acc = P::zero();
+        [[maybe_unused]] P accv = P::zero();
+        for (int d = 0; d < D; ++d) {
+          const P pi = P::gather(posf, ii + k, D, d);
+          const P pj = P::gather(posf, jj + k, D, d);
+          const P dd = disp.component(pi - pj, d);
+          dd.store(&dxs[d][k]);
+          acc = acc + dd * dd;
+          if constexpr (kVel) {
+            const P vi = P::gather(velf, ii + k, D, d);
+            const P vj = P::gather(velf, jj + k, D, d);
+            accv = accv + (vi - vj) * dd;
+          }
+        }
+        acc.store(&r2[k]);
+        if constexpr (kVel) accv.store(&rv[k]);
+      }
+    }
+    for (; k < m; ++k) {
+      const auto i = static_cast<std::size_t>(ii[k]);
+      const auto j = static_cast<std::size_t>(jj[k]);
+      const Vec<D> d = disp(pos[i], pos[j]);
+      for (int c = 0; c < D; ++c) dxs[c][k] = d[c];
+      r2[k] = norm2(d);
+      if constexpr (kVel) rv[k] = dot(vel[i] - vel[j], d);
+    }
+
+    // --- compute --------------------------------------------------------
+    k = 0;
+    if constexpr (W > 1 && PackedPairModel<Model, P>) {
+      for (; k + W <= m; k += W) {
+        const P pr2 = P::load(&r2[k]);
+        P prv = P::zero();
+        if constexpr (kVel) prv = P::load(&rv[k]);
+        P ps, pev;
+        const auto interact = model.pair_packed(pr2, prv, ps, pev);
+        ps.store(&s[k]);
+        pev.store(&e[k]);
+        interact.store_bytes(&hit[k]);
+      }
+    }
+    for (; k < m; ++k) {
+      double rvk = 0.0;
+      if constexpr (kVel) rvk = rv[k];
+      hit[k] = model.pair(r2[k], rvk, s[k], e[k]) ? 1 : 0;
+    }
+
+    // --- scatter (scalar, exact per-link emission order) ----------------
+    for (k = 0; k < m; ++k) {
+      if (!hit[k]) continue;
+      ++contacts;
+      pe += pe_weight * e[k];
+      Vec<D> f;
+      for (int c = 0; c < D; ++c) f[c] = s[k] * dxs[c][k];
+      sink(ii[k], f);
+      if (update_both) sink(jj[k], -f);
+    }
+  }
+  return pe;
+}
+
+}  // namespace detail
+
+// Evaluate `model` over `links`, calling sink(particle, force) for every
+// contribution: the i end first, then (when update_both) the j end with the
+// opposite sign — exactly the order of the classic scalar loop.  Returns
+// the potential energy of the interacting pairs scaled by pe_weight and
+// adds their count to `contacts`.
+template <int D, class Model, class Disp, class Sink>
+double batched_pair_links(std::span<const Link> links,
+                          std::span<const Vec<D>> pos,
+                          std::span<const Vec<D>> vel, const Model& model,
+                          Disp&& disp, bool update_both, double pe_weight,
+                          std::uint64_t& contacts, Sink&& sink) {
+  const int w = simd::dispatch_width();
+  if constexpr (simd::kMaxWidth >= 4) {
+    if (w >= 4) {
+      return detail::batched_pair_links_w<D, 4>(links, pos, vel, model, disp,
+                                                update_both, pe_weight,
+                                                contacts, sink);
+    }
+  }
+  if constexpr (simd::kMaxWidth >= 2) {
+    if (w >= 2) {
+      return detail::batched_pair_links_w<D, 2>(links, pos, vel, model, disp,
+                                                update_both, pe_weight,
+                                                contacts, sink);
+    }
+  }
+  return detail::batched_pair_links_w<D, 1>(links, pos, vel, model, disp,
+                                            update_both, pe_weight, contacts,
+                                            sink);
+}
+
+}  // namespace hdem

@@ -76,9 +76,9 @@ class SerialSim {
     if (!list_valid()) rebuild();
     trace::Scope iteration(trace::Phase::kIteration);
     zero_forces(store_);
-    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
-      return boundary_.displacement(a, b);
-    };
+    // PairDisp (not an opaque lambda) lets the batched kernel run its
+    // vector gather phase.
+    const PairDisp<D> disp = boundary_.pair_disp();
     {
       trace::Scope scope(trace::Phase::kForce);
       potential_ = accumulate_forces<D>(links_.core(), store_, model_, disp,

@@ -141,7 +141,10 @@ class MpSim {
       trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
       halo_.finish_swap(blocks_, *comm_, counters_);
     }
-    auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
+    // Halo copies are geometrically shifted, so displacement is plain
+    // xi - xj; PairDisp (not an opaque lambda) keeps the batched kernel's
+    // vector gather phase active.
+    const PairDisp<D> disp{};
 
     potential_ = 0.0;
     double max_v = 0.0;

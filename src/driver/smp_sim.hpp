@@ -60,9 +60,9 @@ class SmpSim {
 
   void step() {
     if (!list_valid()) rebuild();
-    auto disp = [this](const Vec<D>& a, const Vec<D>& b) {
-      return boundary_.displacement(a, b);
-    };
+    // PairDisp (not an opaque lambda) lets the batched kernel run its
+    // vector gather phase.
+    const PairDisp<D> disp = boundary_.pair_disp();
     potential_ = dispatch_force_pass<D>(acc_, team_, links_, store_, model_,
                                         disp, &counters_);
     const double max_v = smp_update_positions(

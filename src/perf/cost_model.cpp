@@ -121,9 +121,16 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
       machine.t_mem * miss_l2 * saturation;
 
   CostBreakdown out;
-  // Work terms execute concurrently on the rank's threads.
+  // Work terms execute concurrently on the rank's threads.  The pair
+  // arithmetic additionally rides the machine's vector units when the run
+  // dispatched to a SIMD width: the measured kernel throughput gain
+  // (microbench) divides the per-link arithmetic cost.  Memory-system
+  // terms are left alone — vectorizing does not widen the cache.
+  const double simd_gain = (run.simd_width > 1 && machine.simd_gain > 1.0)
+                               ? machine.simd_gain
+                               : 1.0;
   const double t_link =
-      machine.t_pair + (run.D == 3 ? machine.t_pair3 : 0.0);
+      (machine.t_pair + (run.D == 3 ? machine.t_pair3 : 0.0)) / simd_gain;
   out.compute = (links * t_link + updates * machine.t_update) / t_count;
   out.memory =
       (links * mem_per_link + contacts * machine.t_contact * miss_l1) /

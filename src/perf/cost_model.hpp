@@ -32,6 +32,10 @@ struct RunMeasurement {
   // the immediately-following wait), but nothing hides behind compute
   // there, so the model only credits the split when this is set.
   bool overlap = false;
+  // SIMD pack width the run's kernels dispatched to (1 = scalar loop).
+  // The model credits machine.simd_gain to the pair-arithmetic term only
+  // when the measured run actually exercised the vector path.
+  int simd_width = 1;
   std::uint64_t iterations = 0;
   Counters agg;
   // Per-rank counters (message-passing runs only) — the raw material for

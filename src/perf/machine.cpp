@@ -1,5 +1,9 @@
 #include "perf/machine.hpp"
 
+#include <sstream>
+
+#include "util/simd.hpp"
+
 namespace hdem::perf {
 
 // The serial kernel costs below are starting points; benches overwrite
@@ -121,7 +125,19 @@ MachineSpec generic_host() {
   m.lat_inter = 10.0e-6;
   m.bw_inter = 1.0e9;
   m.lat_local = 0.5e-6;
+  m.simd_isa = simd::isa_name(simd::active_isa());
   return m;
+}
+
+std::string machine_report(const MachineSpec& m) {
+  std::ostringstream os;
+  os << m.name << ": " << m.nodes << " node(s) x " << m.cpus_per_node
+     << " cpu(s), t_pair=" << m.t_pair * 1e9 << "ns"
+     << ", simd_isa=" << m.simd_isa << ", simd_gain=" << m.simd_gain
+     << " | host kernels: compiled=" << simd::isa_name(simd::kCompiledIsa)
+     << ", active=" << simd::isa_name(simd::active_isa())
+     << ", width=" << simd::dispatch_width();
+  return os.str();
 }
 
 }  // namespace hdem::perf

@@ -22,6 +22,7 @@
 #include "driver/smp_sim.hpp"
 #include "mp/comm.hpp"
 #include "perf/cost_model.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace hdem::perf {
@@ -87,6 +88,7 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
   out.run.nprocs = spec.nprocs;
   out.run.nthreads = spec.nthreads;
   out.run.overlap = spec.overlap;
+  out.run.simd_width = simd::dispatch_width();
   out.run.iterations = spec.iterations;
 
   switch (spec.mode) {

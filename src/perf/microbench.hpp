@@ -8,7 +8,10 @@
 // parameterise the generic_host machine spec.
 #pragma once
 
+#include <cstddef>
 #include <string>
+
+#include "perf/machine.hpp"
 
 namespace hdem::perf {
 
@@ -30,5 +33,29 @@ double per_block_sync_cost(const SyncOverheads& o, double regions_per_block,
                            double barriers_per_block);
 
 std::string format(const SyncOverheads& o);
+
+// Measured per-link throughput of the batched pair kernel (3D elastic
+// spheres on the paper's benchmark density) at the host's native SIMD
+// dispatch width versus the width-1 scalar loop.  gain() is the
+// vector-width/throughput term the cost model divides the pair-arithmetic
+// cost by (perf/cost_model); apply_kernel_throughput records it on a spec.
+struct KernelThroughput {
+  std::string isa = "scalar";      // ISA the vector measurement ran on
+  int width = 1;                   // its dispatch width
+  double ns_per_link_scalar = 0.0;
+  double ns_per_link_simd = 0.0;
+  double gain() const {
+    return (ns_per_link_simd > 0.0 && ns_per_link_scalar > 0.0)
+               ? ns_per_link_scalar / ns_per_link_simd
+               : 1.0;
+  }
+};
+
+KernelThroughput measure_kernel_throughput(std::size_t nparticles = 20'000,
+                                           int repetitions = 20);
+
+void apply_kernel_throughput(MachineSpec& m, const KernelThroughput& k);
+
+std::string format(const KernelThroughput& k);
 
 }  // namespace hdem::perf

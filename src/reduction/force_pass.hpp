@@ -201,7 +201,9 @@ double fused_force_range(const LinkList& list, std::int64_t lo,
   auto pos = store.positions();
   auto vel = store.velocities();
   const auto n_core = static_cast<std::int64_t>(list.n_core);
-  const auto disp = [](const Vec<D>& a, const Vec<D>& b) { return a - b; };
+  // Blocks see shifted halo copies, so displacement is plain xi - xj; the
+  // non-periodic PairDisp keeps the kernel's vector gather phase active.
+  const PairDisp<D> disp{};
   const auto sink = [&](std::int32_t p, const Vec<D>& f) {
     acc.add(tid, p, f, store);
   };

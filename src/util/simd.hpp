@@ -1,0 +1,679 @@
+// Portable fixed-width SIMD layer for the hot kernels.
+//
+// Henty's force kernel is "one square root and one inverse" per link —
+// branch-light arithmetic the batched SoA pair kernel exposes in flat
+// scratch arrays, but whose vectorization we previously left to compiler
+// autovec (which degrades silently across toolchains and model variants).
+// This header gives the kernels an explicit, operator-overloaded
+// `simd::pack<double, W>` with AVX/SSE2/NEON specializations and a scalar
+// fallback, so the vector width is a template parameter rather than a
+// compiler mood.
+//
+// Bit-identity contract (see DESIGN.md §3.4): every pack operation is an
+// elementwise IEEE-754 double operation — correctly-rounded add/sub/mul/
+// div/sqrt, bitwise blends for select, exact comparisons.  `rcp` is an
+// exact division (1.0 / x), never the approximate reciprocal instruction.
+// No FMA is emitted (and the build sets -ffp-contract=off), so a lane
+// computes exactly what the scalar expression computes, at every width,
+// on every ISA.  Order-sensitive reductions (`hsum_ordered`) combine
+// lanes in ascending lane order, never as a tree.
+//
+// ISA selection
+//   Configure time : the HDEM_SIMD CMake option (auto|avx2|sse2|neon|
+//                    scalar) defines at most one HDEM_SIMD_FORCE_* macro
+//                    and adds the matching -m flags; `auto` (the default)
+//                    adds no flags and picks the best ISA the compilation
+//                    already enables (__AVX2__ / __SSE2__ / __ARM_NEON).
+//   Compile time   : kMaxWidth is the widest pack the translation unit
+//                    can instantiate with intrinsics (1, 2 or 4).
+//   Run time       : dispatch_width() caps kMaxWidth by what the CPU
+//                    actually supports (CPUID), so a binary compiled for
+//                    AVX2 falls back to narrower packs — or scalar —
+//                    on an older machine instead of faulting.  Tests and
+//                    benches can pin the width with set_dispatch_width().
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+// ---------------------------------------------------------------------------
+// Compile-time ISA selection.
+#if defined(HDEM_SIMD_FORCE_SCALAR)
+// No intrinsic specializations; every pack is the generic loop form.
+#elif defined(HDEM_SIMD_FORCE_AVX2)
+#if !defined(__AVX2__)
+#error "HDEM_SIMD=avx2 requires AVX2 compile flags (CMake adds -mavx2)"
+#endif
+#define HDEM_SIMD_HAS_AVX 1
+#define HDEM_SIMD_HAS_SSE2 1
+#elif defined(HDEM_SIMD_FORCE_SSE2)
+#if !defined(__SSE2__)
+#error "HDEM_SIMD=sse2 requires SSE2 compile flags (CMake adds -msse2)"
+#endif
+#define HDEM_SIMD_HAS_SSE2 1
+#elif defined(HDEM_SIMD_FORCE_NEON)
+#if !(defined(__ARM_NEON) && defined(__aarch64__))
+#error "HDEM_SIMD=neon requires AArch64 NEON"
+#endif
+#define HDEM_SIMD_HAS_NEON 1
+#else  // auto: take the best ISA the compilation already enables.
+#if defined(__AVX2__)
+#define HDEM_SIMD_HAS_AVX 1
+#define HDEM_SIMD_HAS_SSE2 1
+#elif defined(__SSE2__)
+#define HDEM_SIMD_HAS_SSE2 1
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define HDEM_SIMD_HAS_NEON 1
+#endif
+#endif
+
+#if defined(HDEM_SIMD_HAS_AVX) || defined(HDEM_SIMD_HAS_SSE2)
+#include <immintrin.h>
+#endif
+#if defined(HDEM_SIMD_HAS_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace hdem::simd {
+
+enum class Isa : std::uint8_t { kScalar, kSse2, kAvx2, kNeon };
+
+const char* isa_name(Isa isa);
+
+// Widest pack this build can instantiate with intrinsics.
+#if defined(HDEM_SIMD_HAS_AVX)
+inline constexpr int kMaxWidth = 4;
+inline constexpr Isa kCompiledIsa = Isa::kAvx2;
+#elif defined(HDEM_SIMD_HAS_SSE2)
+inline constexpr int kMaxWidth = 2;
+inline constexpr Isa kCompiledIsa = Isa::kSse2;
+#elif defined(HDEM_SIMD_HAS_NEON)
+inline constexpr int kMaxWidth = 2;
+inline constexpr Isa kCompiledIsa = Isa::kNeon;
+#else
+inline constexpr int kMaxWidth = 1;
+inline constexpr Isa kCompiledIsa = Isa::kScalar;
+#endif
+
+// True when the running CPU can execute width-`w` packs of this build.
+bool cpu_supports_width(int w);
+
+// Kernel dispatch width: min(kMaxWidth, what CPUID reports), or the
+// pinned override.  Cached after the first call; never below 1.
+int dispatch_width();
+
+// Pin the dispatch width (testing / width sweeps).  Clamped to
+// [1, kMaxWidth] and to what the CPU supports; w <= 0 restores the
+// automatic choice.  Call only between kernel invocations (the kernels
+// read the width once per call).
+void set_dispatch_width(int w);
+
+// The ISA backing the current dispatch width.
+Isa active_isa();
+
+// ---------------------------------------------------------------------------
+// Masks.  Generic form stores one bool per lane; intrinsic specializations
+// keep the native compare result (all-ones / all-zero lanes).
+template <int W>
+struct mask {
+  static_assert(W >= 1);
+  std::array<bool, W> m{};
+
+  static mask all_true() {
+    mask r;
+    r.m.fill(true);
+    return r;
+  }
+  bool lane(int i) const { return m[static_cast<std::size_t>(i)]; }
+  bool any() const {
+    for (int i = 0; i < W; ++i) {
+      if (m[static_cast<std::size_t>(i)]) return true;
+    }
+    return false;
+  }
+  bool all() const {
+    for (int i = 0; i < W; ++i) {
+      if (!m[static_cast<std::size_t>(i)]) return false;
+    }
+    return true;
+  }
+  // One 0/1 byte per lane, in lane order (the scatter phase's hit flags).
+  void store_bytes(unsigned char* out) const {
+    for (int i = 0; i < W; ++i) {
+      out[i] = m[static_cast<std::size_t>(i)] ? 1 : 0;
+    }
+  }
+  friend mask operator&(const mask& a, const mask& b) {
+    mask r;
+    for (int i = 0; i < W; ++i) {
+      r.m[static_cast<std::size_t>(i)] = a.m[static_cast<std::size_t>(i)] &&
+                                         b.m[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend mask operator|(const mask& a, const mask& b) {
+    mask r;
+    for (int i = 0; i < W; ++i) {
+      r.m[static_cast<std::size_t>(i)] = a.m[static_cast<std::size_t>(i)] ||
+                                         b.m[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Generic pack: elementwise loops over an array.  Serves width 1 (the
+// scalar fallback the runtime guard dispatches to) and any width without
+// an intrinsic specialization — it is the reference implementation every
+// specialization must match bit-for-bit.
+template <class T, int W>
+struct pack {
+  static_assert(W >= 1);
+  using value_type = T;
+  static constexpr int width = W;
+
+  std::array<T, W> v{};
+
+  static pack broadcast(T s) {
+    pack r;
+    r.v.fill(s);
+    return r;
+  }
+  static pack zero() { return broadcast(T(0)); }
+  static pack load(const T* p) {
+    pack r;
+    for (int i = 0; i < W; ++i) r.v[static_cast<std::size_t>(i)] = p[i];
+    return r;
+  }
+  // r[l] = base[idx[l] * stride + offset] — the link-index gather.
+  static pack gather(const T* base, const std::int32_t* idx, int stride,
+                     int offset) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          base[static_cast<std::size_t>(idx[i]) *
+                   static_cast<std::size_t>(stride) +
+               static_cast<std::size_t>(offset)];
+    }
+    return r;
+  }
+  // r[l] = p[l * stride] — AoS component loads over consecutive particles.
+  static pack strided(const T* p, int stride) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          p[static_cast<std::size_t>(i) * static_cast<std::size_t>(stride)];
+    }
+    return r;
+  }
+  void store(T* p) const {
+    for (int i = 0; i < W; ++i) p[i] = v[static_cast<std::size_t>(i)];
+  }
+  T lane(int i) const { return v[static_cast<std::size_t>(i)]; }
+
+  friend pack operator+(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] + b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend pack operator-(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] - b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend pack operator*(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] * b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend pack operator/(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] / b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend pack operator-(const pack& a) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] = -a.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+
+  friend pack sqrt(const pack& a) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] =
+          std::sqrt(a.v[static_cast<std::size_t>(i)]);
+    }
+    return r;
+  }
+  // Exact reciprocal: a correctly-rounded division, NOT the approximate
+  // rcpps-style estimate (which would break bit-identity with scalar).
+  friend pack rcp(const pack& a) { return broadcast(T(1)) / a; }
+  friend pack min(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      const auto ai = a.v[static_cast<std::size_t>(i)];
+      const auto bi = b.v[static_cast<std::size_t>(i)];
+      r.v[static_cast<std::size_t>(i)] = ai < bi ? ai : bi;
+    }
+    return r;
+  }
+  friend pack max(const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      const auto ai = a.v[static_cast<std::size_t>(i)];
+      const auto bi = b.v[static_cast<std::size_t>(i)];
+      r.v[static_cast<std::size_t>(i)] = ai > bi ? ai : bi;
+    }
+    return r;
+  }
+
+  friend mask<W> operator<(const pack& a, const pack& b) {
+    mask<W> r;
+    for (int i = 0; i < W; ++i) {
+      r.m[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] < b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend mask<W> operator<=(const pack& a, const pack& b) {
+    mask<W> r;
+    for (int i = 0; i < W; ++i) {
+      r.m[static_cast<std::size_t>(i)] =
+          a.v[static_cast<std::size_t>(i)] <= b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+  friend mask<W> operator>(const pack& a, const pack& b) { return b < a; }
+  friend mask<W> operator>=(const pack& a, const pack& b) { return b <= a; }
+
+  // Bit-exact blend: lane l takes a[l] where m[l], else b[l].
+  friend pack select(const mask<W>& m, const pack& a, const pack& b) {
+    pack r;
+    for (int i = 0; i < W; ++i) {
+      r.v[static_cast<std::size_t>(i)] = m.m[static_cast<std::size_t>(i)]
+                                             ? a.v[static_cast<std::size_t>(i)]
+                                             : b.v[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+
+  // Lane 0 + lane 1 + ... in ascending lane order (never a tree), so the
+  // result matches a scalar loop over the same values.
+  T hsum_ordered() const {
+    T s = v[0];
+    for (int i = 1; i < W; ++i) s = s + v[static_cast<std::size_t>(i)];
+    return s;
+  }
+  T hmax() const {
+    T s = v[0];
+    for (int i = 1; i < W; ++i) {
+      const T x = v[static_cast<std::size_t>(i)];
+      if (x > s) s = x;
+    }
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SSE2 specialization: pack<double, 2> on __m128d.
+#if defined(HDEM_SIMD_HAS_SSE2)
+
+template <>
+struct mask<2> {
+  __m128d m;
+
+  static mask all_true() {
+    return {_mm_castsi128_pd(_mm_set1_epi64x(-1))};
+  }
+  bool lane(int i) const { return (_mm_movemask_pd(m) >> i) & 1; }
+  bool any() const { return _mm_movemask_pd(m) != 0; }
+  bool all() const { return _mm_movemask_pd(m) == 0x3; }
+  void store_bytes(unsigned char* out) const {
+    const int bits = _mm_movemask_pd(m);
+    out[0] = static_cast<unsigned char>(bits & 1);
+    out[1] = static_cast<unsigned char>((bits >> 1) & 1);
+  }
+  friend mask operator&(const mask& a, const mask& b) {
+    return {_mm_and_pd(a.m, b.m)};
+  }
+  friend mask operator|(const mask& a, const mask& b) {
+    return {_mm_or_pd(a.m, b.m)};
+  }
+};
+
+template <>
+struct pack<double, 2> {
+  using value_type = double;
+  static constexpr int width = 2;
+
+  __m128d v;
+
+  static pack broadcast(double s) { return {_mm_set1_pd(s)}; }
+  static pack zero() { return {_mm_setzero_pd()}; }
+  static pack load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static pack gather(const double* base, const std::int32_t* idx, int stride,
+                     int offset) {
+    return {_mm_set_pd(
+        base[static_cast<std::size_t>(idx[1]) *
+                 static_cast<std::size_t>(stride) +
+             static_cast<std::size_t>(offset)],
+        base[static_cast<std::size_t>(idx[0]) *
+                 static_cast<std::size_t>(stride) +
+             static_cast<std::size_t>(offset)])};
+  }
+  static pack strided(const double* p, int stride) {
+    return {_mm_set_pd(p[static_cast<std::size_t>(stride)], p[0])};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  double lane(int i) const {
+    alignas(16) double tmp[2];
+    _mm_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend pack operator+(const pack& a, const pack& b) {
+    return {_mm_add_pd(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a, const pack& b) {
+    return {_mm_sub_pd(a.v, b.v)};
+  }
+  friend pack operator*(const pack& a, const pack& b) {
+    return {_mm_mul_pd(a.v, b.v)};
+  }
+  friend pack operator/(const pack& a, const pack& b) {
+    return {_mm_div_pd(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a) {
+    return {_mm_xor_pd(a.v, _mm_set1_pd(-0.0))};
+  }
+
+  friend pack sqrt(const pack& a) { return {_mm_sqrt_pd(a.v)}; }
+  friend pack rcp(const pack& a) {
+    return {_mm_div_pd(_mm_set1_pd(1.0), a.v)};
+  }
+  friend pack min(const pack& a, const pack& b) {
+    return {_mm_min_pd(a.v, b.v)};
+  }
+  friend pack max(const pack& a, const pack& b) {
+    return {_mm_max_pd(a.v, b.v)};
+  }
+
+  friend mask<2> operator<(const pack& a, const pack& b) {
+    return {_mm_cmplt_pd(a.v, b.v)};
+  }
+  friend mask<2> operator<=(const pack& a, const pack& b) {
+    return {_mm_cmple_pd(a.v, b.v)};
+  }
+  friend mask<2> operator>(const pack& a, const pack& b) {
+    return {_mm_cmpgt_pd(a.v, b.v)};
+  }
+  friend mask<2> operator>=(const pack& a, const pack& b) {
+    return {_mm_cmpge_pd(a.v, b.v)};
+  }
+
+  friend pack select(const mask<2>& m, const pack& a, const pack& b) {
+    // Bitwise blend ((m & a) | (~m & b)) — exact for every bit pattern.
+    return {_mm_or_pd(_mm_and_pd(m.m, a.v), _mm_andnot_pd(m.m, b.v))};
+  }
+
+  double hsum_ordered() const {
+    alignas(16) double tmp[2];
+    _mm_store_pd(tmp, v);
+    return tmp[0] + tmp[1];
+  }
+  double hmax() const {
+    alignas(16) double tmp[2];
+    _mm_store_pd(tmp, v);
+    return tmp[1] > tmp[0] ? tmp[1] : tmp[0];
+  }
+};
+
+#endif  // HDEM_SIMD_HAS_SSE2
+
+// ---------------------------------------------------------------------------
+// AVX specialization: pack<double, 4> on __m256d.  (AVX2 is requested at
+// configure time for the full instruction set, but the double-lane ops
+// used here are AVX.)
+#if defined(HDEM_SIMD_HAS_AVX)
+
+template <>
+struct mask<4> {
+  __m256d m;
+
+  static mask all_true() {
+    return {_mm256_castsi256_pd(_mm256_set1_epi64x(-1))};
+  }
+  bool lane(int i) const { return (_mm256_movemask_pd(m) >> i) & 1; }
+  bool any() const { return _mm256_movemask_pd(m) != 0; }
+  bool all() const { return _mm256_movemask_pd(m) == 0xF; }
+  void store_bytes(unsigned char* out) const {
+    const int bits = _mm256_movemask_pd(m);
+    for (int i = 0; i < 4; ++i) {
+      out[i] = static_cast<unsigned char>((bits >> i) & 1);
+    }
+  }
+  friend mask operator&(const mask& a, const mask& b) {
+    return {_mm256_and_pd(a.m, b.m)};
+  }
+  friend mask operator|(const mask& a, const mask& b) {
+    return {_mm256_or_pd(a.m, b.m)};
+  }
+};
+
+template <>
+struct pack<double, 4> {
+  using value_type = double;
+  static constexpr int width = 4;
+
+  __m256d v;
+
+  static pack broadcast(double s) { return {_mm256_set1_pd(s)}; }
+  static pack zero() { return {_mm256_setzero_pd()}; }
+  static pack load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static pack gather(const double* base, const std::int32_t* idx, int stride,
+                     int offset) {
+    // Four scalar loads beat vgatherqpd on most cores and keep the
+    // semantics identical across ISAs.
+    const auto at = [&](int l) {
+      return base[static_cast<std::size_t>(idx[l]) *
+                      static_cast<std::size_t>(stride) +
+                  static_cast<std::size_t>(offset)];
+    };
+    return {_mm256_set_pd(at(3), at(2), at(1), at(0))};
+  }
+  static pack strided(const double* p, int stride) {
+    const auto s = static_cast<std::size_t>(stride);
+    return {_mm256_set_pd(p[3 * s], p[2 * s], p[s], p[0])};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  double lane(int i) const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v);
+    return tmp[i];
+  }
+
+  friend pack operator+(const pack& a, const pack& b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a, const pack& b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend pack operator*(const pack& a, const pack& b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend pack operator/(const pack& a, const pack& b) {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a) {
+    return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};
+  }
+
+  friend pack sqrt(const pack& a) { return {_mm256_sqrt_pd(a.v)}; }
+  friend pack rcp(const pack& a) {
+    return {_mm256_div_pd(_mm256_set1_pd(1.0), a.v)};
+  }
+  friend pack min(const pack& a, const pack& b) {
+    return {_mm256_min_pd(a.v, b.v)};
+  }
+  friend pack max(const pack& a, const pack& b) {
+    return {_mm256_max_pd(a.v, b.v)};
+  }
+
+  friend mask<4> operator<(const pack& a, const pack& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+  }
+  friend mask<4> operator<=(const pack& a, const pack& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+  }
+  friend mask<4> operator>(const pack& a, const pack& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+  }
+  friend mask<4> operator>=(const pack& a, const pack& b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+  }
+
+  friend pack select(const mask<4>& m, const pack& a, const pack& b) {
+    return {_mm256_blendv_pd(b.v, a.v, m.m)};
+  }
+
+  double hsum_ordered() const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v);
+    return ((tmp[0] + tmp[1]) + tmp[2]) + tmp[3];
+  }
+  double hmax() const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v);
+    double s = tmp[0];
+    for (int i = 1; i < 4; ++i) {
+      if (tmp[i] > s) s = tmp[i];
+    }
+    return s;
+  }
+};
+
+#endif  // HDEM_SIMD_HAS_AVX
+
+// ---------------------------------------------------------------------------
+// NEON specialization (AArch64): pack<double, 2> on float64x2_t.
+#if defined(HDEM_SIMD_HAS_NEON)
+
+template <>
+struct mask<2> {
+  uint64x2_t m;
+
+  static mask all_true() { return {vdupq_n_u64(~0ull)}; }
+  bool lane(int i) const {
+    return (i == 0 ? vgetq_lane_u64(m, 0) : vgetq_lane_u64(m, 1)) != 0;
+  }
+  bool any() const { return lane(0) || lane(1); }
+  bool all() const { return lane(0) && lane(1); }
+  void store_bytes(unsigned char* out) const {
+    out[0] = lane(0) ? 1 : 0;
+    out[1] = lane(1) ? 1 : 0;
+  }
+  friend mask operator&(const mask& a, const mask& b) {
+    return {vandq_u64(a.m, b.m)};
+  }
+  friend mask operator|(const mask& a, const mask& b) {
+    return {vorrq_u64(a.m, b.m)};
+  }
+};
+
+template <>
+struct pack<double, 2> {
+  using value_type = double;
+  static constexpr int width = 2;
+
+  float64x2_t v;
+
+  static pack broadcast(double s) { return {vdupq_n_f64(s)}; }
+  static pack zero() { return {vdupq_n_f64(0.0)}; }
+  static pack load(const double* p) { return {vld1q_f64(p)}; }
+  static pack gather(const double* base, const std::int32_t* idx, int stride,
+                     int offset) {
+    const double lo = base[static_cast<std::size_t>(idx[0]) *
+                               static_cast<std::size_t>(stride) +
+                           static_cast<std::size_t>(offset)];
+    const double hi = base[static_cast<std::size_t>(idx[1]) *
+                               static_cast<std::size_t>(stride) +
+                           static_cast<std::size_t>(offset)];
+    return {vcombine_f64(vdup_n_f64(lo), vdup_n_f64(hi))};
+  }
+  static pack strided(const double* p, int stride) {
+    return {vcombine_f64(vdup_n_f64(p[0]),
+                         vdup_n_f64(p[static_cast<std::size_t>(stride)]))};
+  }
+  void store(double* p) const { vst1q_f64(p, v); }
+  double lane(int i) const {
+    return i == 0 ? vgetq_lane_f64(v, 0) : vgetq_lane_f64(v, 1);
+  }
+
+  friend pack operator+(const pack& a, const pack& b) {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a, const pack& b) {
+    return {vsubq_f64(a.v, b.v)};
+  }
+  friend pack operator*(const pack& a, const pack& b) {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  friend pack operator/(const pack& a, const pack& b) {
+    return {vdivq_f64(a.v, b.v)};
+  }
+  friend pack operator-(const pack& a) { return {vnegq_f64(a.v)}; }
+
+  friend pack sqrt(const pack& a) { return {vsqrtq_f64(a.v)}; }
+  friend pack rcp(const pack& a) {
+    return {vdivq_f64(vdupq_n_f64(1.0), a.v)};
+  }
+  friend pack min(const pack& a, const pack& b) {
+    return {vminq_f64(a.v, b.v)};
+  }
+  friend pack max(const pack& a, const pack& b) {
+    return {vmaxq_f64(a.v, b.v)};
+  }
+
+  friend mask<2> operator<(const pack& a, const pack& b) {
+    return {vcltq_f64(a.v, b.v)};
+  }
+  friend mask<2> operator<=(const pack& a, const pack& b) {
+    return {vcleq_f64(a.v, b.v)};
+  }
+  friend mask<2> operator>(const pack& a, const pack& b) {
+    return {vcgtq_f64(a.v, b.v)};
+  }
+  friend mask<2> operator>=(const pack& a, const pack& b) {
+    return {vcgeq_f64(a.v, b.v)};
+  }
+
+  friend pack select(const mask<2>& m, const pack& a, const pack& b) {
+    return {vbslq_f64(m.m, a.v, b.v)};
+  }
+
+  double hsum_ordered() const { return lane(0) + lane(1); }
+  double hmax() const {
+    const double a = lane(0), b = lane(1);
+    return b > a ? b : a;
+  }
+};
+
+#endif  // HDEM_SIMD_HAS_NEON
+
+}  // namespace hdem::simd

@@ -1,0 +1,417 @@
+// The SIMD layer's contract: every pack operation is the elementwise
+// IEEE-754 double operation — bit-for-bit what the scalar expression
+// computes — at every width, plus the batched kernel's width dispatch
+// (remainder tails, masked scatter, trajectory bit-identity across pinned
+// widths).  Cross-build identity (HDEM_SIMD=scalar vs avx2) is checked by
+// the CI matrix running bench/simd_width_sweep in each leg.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/force_model.hpp"
+#include "core/init.hpp"
+#include "core/pair_disp.hpp"
+#include "core/pair_kernel.hpp"
+#include "core/serial_sim.hpp"
+#include "util/simd.hpp"
+
+namespace hdem {
+namespace {
+
+testing::AssertionResult BitEq(double x, double y) {
+  if (std::bit_cast<std::uint64_t>(x) == std::bit_cast<std::uint64_t>(y)) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << x << " != " << y << " (bits 0x" << std::hex
+         << std::bit_cast<std::uint64_t>(x) << " vs 0x"
+         << std::bit_cast<std::uint64_t>(y) << ")";
+}
+
+// Values spanning the kernel's regime plus awkward cases: negatives,
+// zero, a denormal, large magnitudes.
+constexpr double kProbe[] = {0.0,    1.0,      -1.0,     0.0025, 3.75e-2,
+                             -7.5,   1e300,    -1e300,   5e-324, 0.4999,
+                             0.5001, -0.4999,  -0.5001,  2.0,    1e-8,
+                             123.25, -0.03125, 6.022e23, 0.75,   -0.75};
+constexpr int kProbeN = static_cast<int>(sizeof(kProbe) / sizeof(double));
+
+// Each binary/unary op of pack<double, W> against the plain scalar
+// expression, over all probe pairs, bit-exact.
+template <int W>
+void check_elementwise_ops() {
+  using P = simd::pack<double, W>;
+  double a[W], b[W], out[W];
+  for (int base = 0; base + W <= kProbeN; ++base) {
+    for (int shift = 0; shift < kProbeN; ++shift) {
+      for (int l = 0; l < W; ++l) {
+        a[l] = kProbe[base + l];
+        b[l] = kProbe[(base + l + shift) % kProbeN];
+        if (b[l] == 0.0) b[l] = 1.5;  // keep / and rcp finite
+      }
+      const P pa = P::load(a), pb = P::load(b);
+
+      (pa + pb).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], a[l] + b[l]));
+      (pa - pb).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], a[l] - b[l]));
+      (pa * pb).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], a[l] * b[l]));
+      (pa / pb).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], a[l] / b[l]));
+      (-pa).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], -a[l]));
+      rcp(pb).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], 1.0 / b[l]));
+      min(pa, pb).store(out);
+      for (int l = 0; l < W; ++l) {
+        EXPECT_TRUE(BitEq(out[l], a[l] < b[l] ? a[l] : b[l]));
+      }
+      max(pa, pb).store(out);
+      for (int l = 0; l < W; ++l) {
+        EXPECT_TRUE(BitEq(out[l], a[l] > b[l] ? a[l] : b[l]));
+      }
+      for (int l = 0; l < W; ++l) a[l] = a[l] < 0.0 ? -a[l] : a[l];
+      sqrt(P::load(a)).store(out);
+      for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], std::sqrt(a[l])));
+
+      // Comparisons + select + store_bytes, against the scalar branches.
+      const P pc = P::load(a);
+      const auto lt = pc < pb;
+      const auto le = pc <= pb;
+      const auto gt = pc > pb;
+      const auto ge = pc >= pb;
+      unsigned char bytes[W];
+      lt.store_bytes(bytes);
+      for (int l = 0; l < W; ++l) {
+        EXPECT_EQ(lt.lane(l), a[l] < b[l]);
+        EXPECT_EQ(le.lane(l), a[l] <= b[l]);
+        EXPECT_EQ(gt.lane(l), a[l] > b[l]);
+        EXPECT_EQ(ge.lane(l), a[l] >= b[l]);
+        EXPECT_EQ(bytes[l], a[l] < b[l] ? 1 : 0);
+      }
+      select(lt, pc, pb).store(out);
+      for (int l = 0; l < W; ++l) {
+        EXPECT_TRUE(BitEq(out[l], a[l] < b[l] ? a[l] : b[l]));
+      }
+      EXPECT_EQ(lt.any(), [&] {
+        for (int l = 0; l < W; ++l) {
+          if (a[l] < b[l]) return true;
+        }
+        return false;
+      }());
+      EXPECT_EQ((lt & le).all(), lt.all());
+      EXPECT_EQ((lt | ge).all(), true);  // < and >= partition (no NaNs here)
+
+      // Ordered reductions match a scalar left-to-right loop.
+      double hs = a[0];
+      double hm = a[0];
+      for (int l = 1; l < W; ++l) {
+        hs += a[l];
+        if (a[l] > hm) hm = a[l];
+      }
+      EXPECT_TRUE(BitEq(pc.hsum_ordered(), hs));
+      EXPECT_TRUE(BitEq(pc.hmax(), hm));
+    }
+  }
+}
+
+TEST(Simd, ElementwiseOpsMatchScalarW1) { check_elementwise_ops<1>(); }
+TEST(Simd, ElementwiseOpsMatchScalarW2) {
+  if constexpr (simd::kMaxWidth >= 2) check_elementwise_ops<2>();
+}
+TEST(Simd, ElementwiseOpsMatchScalarW4) {
+  if constexpr (simd::kMaxWidth >= 4) check_elementwise_ops<4>();
+}
+// The generic (no-intrinsic) pack at an unspecialized width is the
+// reference implementation; it must satisfy the same contract.
+TEST(Simd, ElementwiseOpsMatchScalarGenericW3) { check_elementwise_ops<3>(); }
+
+TEST(Simd, MaskAllTrue) {
+  EXPECT_TRUE(simd::mask<1>::all_true().all());
+  if constexpr (simd::kMaxWidth >= 2) {
+    const auto m = simd::mask<2>::all_true();
+    EXPECT_TRUE(m.all());
+    EXPECT_TRUE(m.lane(0));
+    EXPECT_TRUE(m.lane(1));
+  }
+  if constexpr (simd::kMaxWidth >= 4) {
+    EXPECT_TRUE(simd::mask<4>::all_true().all());
+  }
+}
+
+template <int W>
+void check_memory_ops() {
+  using P = simd::pack<double, W>;
+  // gather: r[l] = base[idx[l] * stride + offset]
+  double base[64];
+  for (int i = 0; i < 64; ++i) base[i] = 1000.0 + i;
+  std::int32_t idx[W];
+  for (int l = 0; l < W; ++l) idx[l] = (7 * l + 3) % 20;
+  double out[W];
+  for (int offset = 0; offset < 3; ++offset) {
+    P::gather(base, idx, 3, offset).store(out);
+    for (int l = 0; l < W; ++l) {
+      EXPECT_TRUE(BitEq(out[l], base[idx[l] * 3 + offset]));
+    }
+  }
+  // strided: r[l] = p[l * stride]
+  P::strided(base + 5, 3).store(out);
+  for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(out[l], base[5 + 3 * l]));
+  // broadcast / zero / lane
+  const P b7 = P::broadcast(7.25);
+  for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(b7.lane(l), 7.25));
+  const P z = P::zero();
+  for (int l = 0; l < W; ++l) EXPECT_TRUE(BitEq(z.lane(l), 0.0));
+}
+
+TEST(Simd, MemoryOpsW1) { check_memory_ops<1>(); }
+TEST(Simd, MemoryOpsW2) {
+  if constexpr (simd::kMaxWidth >= 2) check_memory_ops<2>();
+}
+TEST(Simd, MemoryOpsW4) {
+  if constexpr (simd::kMaxWidth >= 4) check_memory_ops<4>();
+}
+
+TEST(Simd, DispatchWidthClampsAndRestores) {
+  const int natural = simd::dispatch_width();
+  EXPECT_GE(natural, 1);
+  EXPECT_LE(natural, simd::kMaxWidth);
+  simd::set_dispatch_width(1);
+  EXPECT_EQ(simd::dispatch_width(), 1);
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  simd::set_dispatch_width(1024);  // clamped to the build/CPU maximum
+  EXPECT_EQ(simd::dispatch_width(), natural);
+  simd::set_dispatch_width(0);  // restore automatic detection
+  EXPECT_EQ(simd::dispatch_width(), natural);
+  EXPECT_STRNE(simd::isa_name(simd::active_isa()), "");
+}
+
+// pair_packed must reproduce pair() bit-for-bit, hit flags included.
+template <class Model, int W>
+void check_packed_model_w(const Model& model) {
+  using P = simd::pack<double, W>;
+  std::uint64_t rng = 0x853c49e68349a1ull;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(rng >> 11) / 9007199254740992.0;
+  };
+  const double d = 0.05;
+  for (int rep = 0; rep < 200; ++rep) {
+    double r2[W], rv[W], s[W], e[W];
+    for (int l = 0; l < W; ++l) {
+      r2[l] = (0.25 + 1.5 * next()) * d * d;  // straddles the contact edge
+      rv[l] = (next() - 0.5) * 1e-2;
+    }
+    P ps, pe;
+    const auto hit = model.pair_packed(P::load(r2), P::load(rv), ps, pe);
+    ps.store(s);
+    pe.store(e);
+    for (int l = 0; l < W; ++l) {
+      double ss = 0.0, ee = 0.0;
+      const bool ref = model.pair(r2[l], rv[l], ss, ee);
+      EXPECT_EQ(hit.lane(l), ref);
+      if (ref) {
+        EXPECT_TRUE(BitEq(s[l], ss));
+        EXPECT_TRUE(BitEq(e[l], ee));
+      }
+    }
+  }
+}
+
+TEST(Simd, PackedModelsMatchScalar) {
+  const ElasticSphere elastic{100.0, 0.05};
+  const DissipativeSphere dissipative{100.0, 1.0, 0.05};
+  const BondedSpring bonded{200.0, 1.0, 0.05};
+  check_packed_model_w<ElasticSphere, 1>(elastic);
+  check_packed_model_w<DissipativeSphere, 1>(dissipative);
+  check_packed_model_w<BondedSpring, 1>(bonded);
+  if constexpr (simd::kMaxWidth >= 2) {
+    check_packed_model_w<ElasticSphere, 2>(elastic);
+    check_packed_model_w<DissipativeSphere, 2>(dissipative);
+    check_packed_model_w<BondedSpring, 2>(bonded);
+  }
+  if constexpr (simd::kMaxWidth >= 4) {
+    check_packed_model_w<ElasticSphere, 4>(elastic);
+    check_packed_model_w<DissipativeSphere, 4>(dissipative);
+    check_packed_model_w<BondedSpring, 4>(bonded);
+  }
+}
+
+// --- batched kernel dispatch ----------------------------------------------
+
+// A small random cloud with every pair linked: plenty of hit AND miss
+// links, so the masked scatter is exercised, and link counts chosen to
+// leave remainder tails (n % W != 0) and sub-batch runs (n < W).
+template <int D>
+struct KernelFixture {
+  std::vector<Vec<D>> pos, vel, frc;
+  std::vector<Link> links;
+
+  explicit KernelFixture(std::size_t n, std::size_t nlinks) {
+    std::uint64_t rng = 0x2545f4914f6cdd1dull;
+    const auto next = [&rng] {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<double>(rng >> 11) / 9007199254740992.0;
+    };
+    pos.resize(n);
+    vel.resize(n);
+    frc.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < D; ++c) {
+        pos[i][c] = next() * 0.2;  // dense: many separations under d
+        vel[i][c] = (next() - 0.5) * 0.1;
+      }
+    }
+    // The first generated link is (0, 1); overlap them so every fixture
+    // has at least one contact regardless of the link count.
+    pos[1] = pos[0];
+    pos[1][0] += 0.03;
+    for (std::size_t k = 0; links.size() < nlinks; ++k) {
+      const auto i = static_cast<std::int32_t>(k % n);
+      const auto j = static_cast<std::int32_t>((k * 7 + 1) % n);
+      if (i != j) links.push_back({i, j});
+    }
+  }
+
+  template <class Model>
+  double run(const Model& model, int width, std::uint64_t& contacts) {
+    simd::set_dispatch_width(width);
+    std::fill(frc.begin(), frc.end(), Vec<D>{});
+    contacts = 0;
+    const PairDisp<D> disp{};
+    const double pe = batched_pair_links<D>(
+        std::span<const Link>(links), std::span<const Vec<D>>(pos),
+        std::span<const Vec<D>>(vel), model, disp, true, 1.0, contacts,
+        [&](std::int32_t p, const Vec<D>& f) {
+          frc[static_cast<std::size_t>(p)] += f;
+        });
+    simd::set_dispatch_width(0);
+    return pe;
+  }
+};
+
+template <int D, class Model>
+void check_kernel_widths(const Model& model, std::size_t n,
+                         std::size_t nlinks) {
+  KernelFixture<D> fix(n, nlinks);
+  std::uint64_t contacts1 = 0;
+  const double pe1 = fix.run(model, 1, contacts1);
+  const std::vector<Vec<D>> frc1 = fix.frc;
+  ASSERT_GT(contacts1, 0u);
+  for (int w = 2; w <= simd::kMaxWidth; w *= 2) {
+    if (!simd::cpu_supports_width(w)) continue;
+    std::uint64_t contacts = 0;
+    const double pe = fix.run(model, w, contacts);
+    EXPECT_EQ(contacts, contacts1) << "width " << w;
+    EXPECT_TRUE(BitEq(pe, pe1)) << "width " << w;
+    for (std::size_t i = 0; i < fix.frc.size(); ++i) {
+      for (int c = 0; c < D; ++c) {
+        EXPECT_TRUE(BitEq(fix.frc[i][c], frc1[i][c]))
+            << "width " << w << " particle " << i << " component " << c;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, BatchedMatchesScalarAcrossWidths2D) {
+  check_kernel_widths<2>(ElasticSphere{100.0, 0.05}, 40, 333);
+  check_kernel_widths<2>(DissipativeSphere{100.0, 1.0, 0.05}, 40, 333);
+}
+
+TEST(SimdKernel, BatchedMatchesScalarAcrossWidths3D) {
+  check_kernel_widths<3>(ElasticSphere{100.0, 0.05}, 40, 333);
+  check_kernel_widths<3>(DissipativeSphere{100.0, 1.0, 0.05}, 40, 333);
+}
+
+TEST(SimdKernel, RemainderTails) {
+  // n % W != 0 for every W, and link counts below one pack.
+  const ElasticSphere model{100.0, 0.05};
+  for (const std::size_t nlinks : {1u, 2u, 3u, 5u, 7u, 63u, 65u, 129u}) {
+    check_kernel_widths<3>(model, 12, nlinks);
+  }
+}
+
+TEST(SimdKernel, PeriodicDisplacementAcrossWidths) {
+  // The packed min-image blend must match the scalar branch chain.
+  KernelFixture<3> fix(40, 333);
+  const PairDisp<3> disp{Vec<3>(0.25), true};
+  const ElasticSphere model{100.0, 0.05};
+  const auto run = [&](int width, std::uint64_t& contacts) {
+    simd::set_dispatch_width(width);
+    std::fill(fix.frc.begin(), fix.frc.end(), Vec<3>{});
+    contacts = 0;
+    const double pe = batched_pair_links<3>(
+        std::span<const Link>(fix.links), std::span<const Vec<3>>(fix.pos),
+        std::span<const Vec<3>>(fix.vel), model, disp, true, 1.0, contacts,
+        [&](std::int32_t p, const Vec<3>& f) {
+          fix.frc[static_cast<std::size_t>(p)] += f;
+        });
+    simd::set_dispatch_width(0);
+    return pe;
+  };
+  std::uint64_t c1 = 0;
+  const double pe1 = run(1, c1);
+  const auto frc1 = fix.frc;
+  ASSERT_GT(c1, 0u);
+  for (int w = 2; w <= simd::kMaxWidth; w *= 2) {
+    if (!simd::cpu_supports_width(w)) continue;
+    std::uint64_t c = 0;
+    const double pe = run(w, c);
+    EXPECT_EQ(c, c1);
+    EXPECT_TRUE(BitEq(pe, pe1));
+    for (std::size_t i = 0; i < fix.frc.size(); ++i) {
+      for (int cmp = 0; cmp < 3; ++cmp) {
+        EXPECT_TRUE(BitEq(fix.frc[i][cmp], frc1[i][cmp]));
+      }
+    }
+  }
+}
+
+// --- full-driver trajectory bit-identity ----------------------------------
+
+template <int D>
+void check_trajectory_identity(int steps) {
+  SimConfig<D> cfg;
+  cfg.box = Vec<D>(1.0);
+  cfg.seed = 4242;
+  cfg.velocity_scale = 0.8;  // forces several list rebuilds in the window
+  const auto init = uniform_random_particles(cfg, 1500);
+
+  const auto run_at = [&](int width) {
+    simd::set_dispatch_width(width);
+    SerialSim<D> sim(cfg, ElasticSphere{cfg.stiffness, cfg.diameter}, init);
+    sim.run(static_cast<std::uint64_t>(steps));
+    simd::set_dispatch_width(0);
+    return sim;
+  };
+
+  const auto ref = run_at(1);
+  for (int w = 2; w <= simd::kMaxWidth; w *= 2) {
+    if (!simd::cpu_supports_width(w)) continue;
+    const auto sim = run_at(w);
+    ASSERT_EQ(sim.store().size(), ref.store().size());
+    for (std::size_t i = 0; i < ref.store().size(); ++i) {
+      for (int c = 0; c < D; ++c) {
+        ASSERT_TRUE(BitEq(sim.store().pos(i)[c], ref.store().pos(i)[c]))
+            << "width " << w << " particle " << i;
+        ASSERT_TRUE(BitEq(sim.store().vel(i)[c], ref.store().vel(i)[c]))
+            << "width " << w << " particle " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdTrajectory, SerialBitIdenticalAcrossWidths2D) {
+  check_trajectory_identity<2>(120);
+}
+
+TEST(SimdTrajectory, SerialBitIdenticalAcrossWidths3D) {
+  check_trajectory_identity<3>(120);
+}
+
+}  // namespace
+}  // namespace hdem
