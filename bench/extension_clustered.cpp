@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "common.hpp"
+#include "util/decomp_cli.hpp"
 
 using namespace hdem;
 using namespace hdem::bench;
@@ -63,11 +64,15 @@ int main(int argc, char** argv) {
   declare_common_options(cli, ctx);
   const double fraction =
       cli.real("cluster", 0.5, "fraction of the box holding all particles");
+  const auto decomp = declare_decomp_options(cli, {1, 2, 4, 8, 16, 32});
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
   const auto& machine = ctx.cpq;
 
-  const std::vector<int> bpps = {1, 2, 4, 8, 16, 32};
+  std::vector<int> bpps;
+  for (const std::int64_t b : decomp.blocks_per_proc) {
+    bpps.push_back(static_cast<int>(b));
+  }
 
   std::ostringstream out;
   out << "== Extension: clustered workload (particles in the bottom "
@@ -92,6 +97,12 @@ int main(int argc, char** argv) {
     mpi.blocks_per_proc = bpp;
     mpi.cluster_fraction = fraction;
     mpi.iterations = ctx.iters;
+    mpi.rebalance = decomp.rebalance;
+    mpi.rebalance_threshold = decomp.rebalance_threshold;
+    // An adaptive run must cross a list rebuild to adopt its table; give
+    // it a longer settling window (see bench/fig11_clustered_balance for
+    // the direct static-vs-adaptive wall-clock comparison).
+    if (decomp.rebalance) mpi.warmup = 20;
     const auto pm = predict_imbalanced(machine, perf::measure_run(mpi).run, 4);
 
     perf::MeasureSpec hyb = mpi;

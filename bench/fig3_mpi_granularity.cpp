@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common.hpp"
+#include "util/decomp_cli.hpp"
 
 using namespace hdem;
 using namespace hdem::bench;
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   BenchContext ctx;
   declare_common_options(cli, ctx);
+  const auto decomp = declare_decomp_options(cli, {1, 2, 4, 8, 16, 32});
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
 
@@ -23,7 +25,10 @@ int main(int argc, char** argv) {
     int nprocs;
   };
   const std::vector<Series> series = {{"Sun", 8}, {"T3E", 32}, {"CPQ", 16}};
-  const std::vector<int> bpps = {1, 2, 4, 8, 16, 32};
+  std::vector<int> bpps;
+  for (const std::int64_t b : decomp.blocks_per_proc) {
+    bpps.push_back(static_cast<int>(b));
+  }
 
   std::ostringstream out;
   out << "== Fig 3: MPI performance vs blocks per process B/P (rc=1.5, "
@@ -47,6 +52,8 @@ int main(int argc, char** argv) {
         spec.nprocs = s.nprocs;
         spec.blocks_per_proc = bpp;
         spec.iterations = ctx.iters;
+        spec.rebalance = decomp.rebalance;
+        spec.rebalance_threshold = decomp.rebalance_threshold;
         const auto m = perf::measure_run(spec);
         const double tp = predict_paper_seconds(
             machine, m.run, mpi_ranks_per_node(machine, s.nprocs));

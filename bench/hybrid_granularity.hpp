@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "util/decomp_cli.hpp"
 
 namespace hdem::bench {
 
@@ -25,11 +26,16 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
   Cli cli(argc, argv);
   BenchContext ctx;
   declare_common_options(cli, ctx);
+  const auto decomp =
+      declare_decomp_options(cli, {1, 2, 4, 8, 16, 32});
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
   const auto& machine = ctx.cpq;
 
-  const std::vector<int> bpps = {1, 2, 4, 8, 16, 32};
+  std::vector<int> bpps;
+  for (const std::int64_t b : decomp.blocks_per_proc) {
+    bpps.push_back(static_cast<int>(b));
+  }
 
   std::ostringstream out;
   out << "== " << title << " ==\n\n";
@@ -50,6 +56,8 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
       mpi.nprocs = 16;
       mpi.blocks_per_proc = bpp;
       mpi.iterations = ctx.iters;
+      mpi.rebalance = decomp.rebalance;
+      mpi.rebalance_threshold = decomp.rebalance_threshold;
       const double t_mpi =
           predict_paper_seconds(machine, perf::measure_run(mpi).run, 4);
       if (bpp == 1) t_ref = t_mpi;
@@ -61,6 +69,8 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
       hyb.nthreads = 4;
       hyb.blocks_per_proc = bpp;
       hyb.reduction = hybrid_reduction;
+      hyb.steal =
+          decomp.steal && hybrid_reduction == ReductionKind::kColored;
       const auto hyb_run = perf::measure_run(hyb).run;
       const double t_hyb = predict_paper_seconds(machine, hyb_run, 1);
       const double locks =

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "util/decomp_cli.hpp"
 
 namespace hdem::bench {
 
@@ -25,6 +26,7 @@ inline int run_mpi_scaling_bench(int argc, char** argv, bool reorder,
   Cli cli(argc, argv);
   BenchContext ctx;
   declare_common_options(cli, ctx);
+  const auto decomp = declare_decomp_options(cli, {1});
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
 
@@ -50,8 +52,10 @@ inline int run_mpi_scaling_bench(int argc, char** argv, bool reorder,
       spec.reorder = reorder;
       spec.mode = perf::MeasureSpec::Mode::kMp;
       spec.nprocs = p;
-      spec.blocks_per_proc = 1;
+      spec.blocks_per_proc = static_cast<int>(decomp.bpp());
       spec.iterations = ctx.iters;
+      spec.rebalance = decomp.rebalance;
+      spec.rebalance_threshold = decomp.rebalance_threshold;
       measured.emplace(key, perf::measure_run(spec).run);
     }
   }

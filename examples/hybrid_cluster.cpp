@@ -6,7 +6,8 @@
 // prints each driver's overhead profile plus the modelled time on the
 // paper's Compaq ES40 cluster.
 //
-//   ./hybrid_cluster [--n=8000] [--steps=60]
+//   ./hybrid_cluster [--n=8000] [--steps=60] [--blocks-per-proc=4]
+//                    [--rebalance] [--steal]
 #include <cstdio>
 #include <map>
 
@@ -15,6 +16,7 @@
 #include "driver/smp_sim.hpp"
 #include "perf/machine.hpp"
 #include "util/cli.hpp"
+#include "util/decomp_cli.hpp"
 
 using namespace hdem;
 
@@ -24,7 +26,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.integer("n", 8000, "particles"));
   const auto steps =
       static_cast<std::uint64_t>(cli.integer("steps", 60, "iterations"));
+  const auto decomp = declare_decomp_options(cli, {4});
   if (cli.finish()) return 0;
+  // Stealing rides the colored reduction; the atomic-family default stays
+  // for the plain run so the locked-update column remains meaningful.
+  const ReductionKind reduction = decomp.steal
+                                      ? ReductionKind::kColored
+                                      : ReductionKind::kSelectedAtomic;
 
   SimConfig<2> cfg;
   cfg.box = Vec<2>(SimConfig<2>::paper_box_edge(n));
@@ -44,7 +52,7 @@ int main(int argc, char** argv) {
   std::printf("serial:  energy %.6f\n", serial.total_energy());
 
   // --- threads (pure shared memory, links decomposed over 4 threads) ----
-  SmpSim<2> smp(cfg, model, init, 4, ReductionKind::kSelectedAtomic);
+  SmpSim<2> smp(cfg, model, init, 4, reduction, decomp.steal);
   smp.run(steps);
   double smp_err = 0.0;
   for (std::size_t i = 0; i < smp.store().size(); ++i) {
@@ -60,10 +68,14 @@ int main(int argc, char** argv) {
       100.0 * static_cast<double>(smp_c.atomic_updates) /
           static_cast<double>(smp_c.atomic_updates + smp_c.plain_updates));
 
-  // --- pure message passing: 4 ranks, 4 blocks each ----------------------
-  const auto layout = DecompLayout<2>::make(4, 4);
+  // --- pure message passing: 4 ranks, --blocks-per-proc blocks each ------
+  const auto layout =
+      DecompLayout<2>::make(4, static_cast<int>(decomp.bpp()));
   mp::run(4, [&](mp::Comm& comm) {
-    MpSim<2> sim(cfg, layout, comm, model, init);
+    MpSim<2>::Options mp_opts;
+    mp_opts.rebalance = decomp.rebalance;
+    mp_opts.rebalance_threshold = decomp.rebalance_threshold;
+    MpSim<2> sim(cfg, layout, comm, model, init, mp_opts);
     sim.run(steps);
     const double energy = sim.global_energy();
     auto state = sim.gather_state();
@@ -85,11 +97,15 @@ int main(int argc, char** argv) {
   });
 
   // --- hybrid: 2 ranks ("nodes") x 2 threads each -------------------------
-  const auto hybrid_layout = DecompLayout<2>::make(2, 4);
+  const auto hybrid_layout =
+      DecompLayout<2>::make(2, 2 * static_cast<int>(decomp.bpp()));
   mp::run(2, [&](mp::Comm& comm) {
     MpSim<2>::Options opts;
     opts.nthreads = 2;
-    opts.reduction = ReductionKind::kSelectedAtomic;
+    opts.reduction = reduction;
+    opts.steal = decomp.steal;
+    opts.rebalance = decomp.rebalance;
+    opts.rebalance_threshold = decomp.rebalance_threshold;
     MpSim<2> sim(cfg, hybrid_layout, comm, model, init, opts);
     sim.run(steps);
     const double energy = sim.global_energy();

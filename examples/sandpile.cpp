@@ -11,15 +11,17 @@
 // *work* (links) distributes over a block decomposition, and how a finer
 // block-cyclic granularity repairs it.
 //
-//   ./sandpile [--n=4000] [--steps=4000]
+//   ./sandpile [--n=4000] [--steps=4000] [--blocks-per-proc=1,4,16,64]
 #include <cstdio>
 #include <vector>
 
 #include "core/serial_sim.hpp"
 #include "io/checkpoint.hpp"
 #include "decomp/layout.hpp"
+#include "decomp/rebalance.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
+#include "util/decomp_cli.hpp"
 
 using namespace hdem;
 
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
       cli.integer("n", 4000, "number of grains of sand"));
   const auto steps = static_cast<std::uint64_t>(
       cli.integer("steps", 4000, "settling iterations"));
+  const auto decomp = declare_decomp_options(cli, {1, 4, 16, 64});
   if (cli.finish()) return 0;
 
   SimConfig<2> cfg;
@@ -74,24 +77,34 @@ int main(int argc, char** argv) {
   // This is the paper's case for block-cyclic distributions and for
   // shared-memory load balancing.
   std::printf("\nwork imbalance over a 2x2 process grid (P=4):\n");
-  std::printf("  %-10s %-8s %s\n", "B/P", "blocks", "max/mean link load");
-  for (int bpp : {1, 4, 16, 64}) {
-    const auto layout = DecompLayout<2>::make(4, bpp);
-    std::vector<std::uint64_t> rank_links(4, 0);
+  std::printf("  %-10s %-8s %-20s %s\n", "B/P", "blocks",
+              "max/mean (cyclic)", decomp.rebalance ? "max/mean (LPT)" : "");
+  for (const std::int64_t bpp : decomp.blocks_per_proc) {
+    auto layout = DecompLayout<2>::make(4, static_cast<int>(bpp));
+    // Per-block link load: the cost vector the adaptive rebalancer would
+    // exchange at a rebuild.
+    std::vector<std::uint64_t> block_links(
+        static_cast<std::size_t>(layout.nblocks()), 0);
     for (const auto& link : sim.links().links) {
-      // Attribute each link to the rank owning its first particle's block.
+      // Attribute each link to the block owning its first particle.
       const auto c = layout.block_of_position(
           sim.store().pos(static_cast<std::size_t>(link.i)), cfg.box);
-      ++rank_links[static_cast<std::size_t>(layout.owner_rank(c))];
+      ++block_links[static_cast<std::size_t>(layout.block_index(c))];
     }
-    std::uint64_t max_load = 0, total = 0;
-    for (auto l : rank_links) {
-      max_load = std::max(max_load, l);
-      total += l;
+    const auto ratio = [&](std::span<const int> table) {
+      return static_cast<double>(
+                 imbalance_permille(block_links, table, 4)) /
+             1000.0;
+    };
+    const double cyclic = ratio(layout.assignment());
+    if (decomp.rebalance) {
+      const double lpt = ratio(lpt_assignment<2>(layout, block_links));
+      std::printf("  %-10lld %-8d %-20.2f %.2f\n",
+                  static_cast<long long>(bpp), layout.nblocks(), cyclic, lpt);
+    } else {
+      std::printf("  %-10lld %-8d %.2f\n", static_cast<long long>(bpp),
+                  layout.nblocks(), cyclic);
     }
-    const double mean = static_cast<double>(total) / 4.0;
-    std::printf("  %-10d %-8d %.2f\n", bpp, layout.nblocks(),
-                mean > 0 ? static_cast<double>(max_load) / mean : 0.0);
   }
   // Persist the settled pile: any driver can restart from this file (see
   // io/checkpoint.hpp and tests/test_checkpoint.cpp).

@@ -10,28 +10,36 @@
 // the fused (Section 11) scheme at a fine granularity, plus a Chrome-trace
 // timeline (open trace_hybrid.json in chrome://tracing or perfetto).
 //
-//   ./trace_profile [--n=8000] [--steps=40] [--bpp=8]
+//   ./trace_profile [--n=8000] [--steps=40] [--blocks-per-proc=8]
+//                   [--rebalance] [--steal]
 #include <cstdio>
 
 #include "driver/mp_sim.hpp"
 #include "trace/tracer.hpp"
 #include "util/cli.hpp"
+#include "util/decomp_cli.hpp"
 
 using namespace hdem;
 
 namespace {
 
 void profile(const char* label, const SimConfig<2>& cfg,
-             const std::vector<ParticleInit<2>>& init, int bpp, bool fused,
-             bool overlap, std::uint64_t steps, const char* json_path) {
+             const std::vector<ParticleInit<2>>& init,
+             const DecompCliOptions& decomp, bool fused, bool overlap,
+             std::uint64_t steps, const char* json_path) {
   trace::Tracer::global().enable(true);
+  const int bpp = static_cast<int>(decomp.bpp());
   const auto layout = DecompLayout<2>::make(2, bpp);
   mp::run(2, [&](mp::Comm& comm) {
     MpSim<2>::Options opts;
     opts.nthreads = 2;
-    opts.reduction = ReductionKind::kSelectedAtomic;
+    opts.reduction = decomp.steal ? ReductionKind::kColored
+                                  : ReductionKind::kSelectedAtomic;
     opts.fused = fused;
     opts.overlap = overlap;
+    opts.steal = decomp.steal;
+    opts.rebalance = decomp.rebalance;
+    opts.rebalance_threshold = decomp.rebalance_threshold;
     MpSim<2> sim(cfg, layout, comm,
                  ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
     sim.run(steps);
@@ -63,11 +71,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.integer("n", 8000, "particles"));
   const auto steps =
       static_cast<std::uint64_t>(cli.integer("steps", 40, "iterations"));
-  const auto bpp = static_cast<int>(
-      cli.integer("bpp", 8, "blocks per process (granularity)"));
   const bool overlap =
       cli.choice("overlap", "off", {"off", "on"},
                  "overlap halo swaps with core-link forces") == "on";
+  const auto decomp = declare_decomp_options(cli, {8});
   if (cli.finish()) return 0;
 
   SimConfig<2> cfg;
@@ -75,9 +82,9 @@ int main(int argc, char** argv) {
   cfg.seed = 31;
   const auto init = uniform_random_particles(cfg, n);
 
-  profile("per-block hybrid", cfg, init, bpp, /*fused=*/false, overlap,
+  profile("per-block hybrid", cfg, init, decomp, /*fused=*/false, overlap,
           steps, "trace_hybrid.json");
-  profile("fused hybrid (SS11)", cfg, init, bpp, /*fused=*/true, overlap,
+  profile("fused hybrid (SS11)", cfg, init, decomp, /*fused=*/true, overlap,
           steps, nullptr);
 
   std::printf(

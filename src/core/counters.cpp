@@ -44,7 +44,34 @@ Counters& Counters::merge(const Counters& o) {
   rebuild_reorder_ns += o.rebuild_reorder_ns;
   rebuild_linkgen_ns += o.rebuild_linkgen_ns;
   rebuild_colorplan_ns += o.rebuild_colorplan_ns;
+  // rebalances/blocks_reassigned are global decisions repeated on every
+  // rank (max, like rebuilds); block costs are per-rank-disjoint (append);
+  // thread costs overlay team slots (element-wise add).
+  rebalances = rebalances > o.rebalances ? rebalances : o.rebalances;
+  blocks_reassigned =
+      blocks_reassigned > o.blocks_reassigned ? blocks_reassigned
+                                              : o.blocks_reassigned;
+  block_cost_ns.insert(block_cost_ns.end(), o.block_cost_ns.begin(),
+                       o.block_cost_ns.end());
+  if (thread_cost_ns.size() < o.thread_cost_ns.size()) {
+    thread_cost_ns.resize(o.thread_cost_ns.size(), 0);
+  }
+  for (std::size_t t = 0; t < o.thread_cost_ns.size(); ++t) {
+    thread_cost_ns[t] += o.thread_cost_ns[t];
+  }
   return *this;
+}
+
+double Counters::imbalance_ratio(const std::vector<std::uint64_t>& cost) {
+  if (cost.empty()) return 0.0;
+  std::uint64_t total = 0, max = 0;
+  for (const std::uint64_t c : cost) {
+    total += c;
+    if (c > max) max = c;
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(cost.size()) /
+         static_cast<double>(total);
 }
 
 void Counters::record_link_gap(std::uint64_t gap) {
@@ -113,6 +140,25 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.rebuild_linkgen_ns = after.rebuild_linkgen_ns - before.rebuild_linkgen_ns;
   d.rebuild_colorplan_ns =
       after.rebuild_colorplan_ns - before.rebuild_colorplan_ns;
+  d.rebalances = after.rebalances - before.rebalances;
+  d.blocks_reassigned = after.blocks_reassigned - before.blocks_reassigned;
+  // Cost vectors subtract element-wise when the shapes still match; a
+  // rebalance inside the window changes the block set, in which case the
+  // "after" accumulation (reset at the rebalance) already is the window.
+  if (after.block_cost_ns.size() == before.block_cost_ns.size()) {
+    for (std::size_t b = 0; b < d.block_cost_ns.size(); ++b) {
+      if (d.block_cost_ns[b] >= before.block_cost_ns[b]) {
+        d.block_cost_ns[b] -= before.block_cost_ns[b];
+      }
+    }
+  }
+  if (after.thread_cost_ns.size() == before.thread_cost_ns.size()) {
+    for (std::size_t t = 0; t < d.thread_cost_ns.size(); ++t) {
+      if (d.thread_cost_ns[t] >= before.thread_cost_ns[t]) {
+        d.thread_cost_ns[t] -= before.thread_cost_ns[t];
+      }
+    }
+  }
   return d;
 }
 
@@ -146,6 +192,10 @@ std::string Counters::summary() const {
      << " bytes_overlapped=" << bytes_overlapped
      << " bytes_exposed=" << bytes_exposed
      << " exposed_wait_ns=" << exposed_wait_ns << "\n"
+     << "balance: rebalances=" << rebalances
+     << " blocks_reassigned=" << blocks_reassigned
+     << " block_imbalance=" << block_imbalance()
+     << " thread_imbalance=" << thread_imbalance() << "\n"
      << "rebuild: bin_ns=" << rebuild_bin_ns
      << " reorder_ns=" << rebuild_reorder_ns
      << " linkgen_ns=" << rebuild_linkgen_ns

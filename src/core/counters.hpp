@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace hdem {
 
@@ -70,6 +71,25 @@ struct Counters {
   std::uint64_t bytes_overlapped = 0;  // received bytes complete before wait
   std::uint64_t bytes_exposed = 0;     // received bytes blocked on at wait
   std::uint64_t exposed_wait_ns = 0;   // nanoseconds spent blocked in waits
+
+  // -- load balance (adaptive rebalancer + stealing schedule) -----------------
+  std::uint64_t rebalances = 0;         // assignment tables adopted
+  std::uint64_t blocks_reassigned = 0;  // blocks whose owner changed
+  // Per-block accumulated step cost in links walked (the cost model's
+  // ns/link term makes this a wall-time proxy that is bit-reproducible
+  // across runs and team sizes) for the blocks this rank owns, in the
+  // driver's block order.  Merging ranks appends (blocks are disjoint);
+  // the max/mean ratio is the measured load imbalance the rebalancer acts
+  // on.
+  std::vector<std::uint64_t> block_cost_ns;
+  // Per-thread force-pass wall time for this rank's team, indexed by
+  // thread id.  Merging adds element-wise (an all-rank max/mean ratio over
+  // per-rank teams would mix independent clocks).
+  std::vector<std::uint64_t> thread_cost_ns;
+  // Max/mean ratio of a cost vector (1.0 = balanced, 0.0 = empty).
+  static double imbalance_ratio(const std::vector<std::uint64_t>& cost);
+  double block_imbalance() const { return imbalance_ratio(block_cost_ns); }
+  double thread_imbalance() const { return imbalance_ratio(thread_cost_ns); }
 
   // -- rebuild phases (cumulative nanoseconds) --------------------------------
   // Wall time per rebuild stage, accumulated by the drivers; the rebuild

@@ -45,9 +45,13 @@ namespace hdem {
 template <int D>
 class HaloExchanger {
  public:
+  // Aliases `layout` (which must outlive the exchanger): the adaptive
+  // rebalancer edits the driver's assignment table in place, and the
+  // neighbour-rank lookups below must see the updated table when the
+  // templates are next rebuilt.
   HaloExchanger(const DecompLayout<D>& layout, const Boundary<D>& bc,
                 double rc)
-      : layout_(layout), bc_(bc), rc_(rc) {}
+      : layout_(&layout), bc_(bc), rc_(rc) {}
 
   // Rebuild every block's halo templates and perform the initial exchange,
   // appending halo copies to each store.  Call after migration (and after
@@ -141,19 +145,19 @@ class HaloExchanger {
 
   void configure_side(const BlockDomain<D>& b, int d, int s,
                       typename BlockDomain<D>::HaloSide& side) const {
-    side.nb_block = layout_.neighbor_block(b.coords, d, s, bc_.periodic());
+    side.nb_block = layout_->neighbor_block(b.coords, d, s, bc_.periodic());
     if (side.nb_block < 0) {
       side.nb_rank = -1;
       side.shift = 0.0;
       return;
     }
-    side.nb_rank = layout_.owner_rank(layout_.block_coords(side.nb_block));
+    side.nb_rank = layout_->owner_of_index(side.nb_block);
     // Crossing the global periodic boundary shifts the copies by a box
     // length so block-local geometry never needs minimum-image arithmetic.
     side.shift = 0.0;
     if (s == 0 && b.coords[d] == 0) {
       side.shift = bc_.box()[d];
-    } else if (s == 1 && b.coords[d] == layout_.block_dims()[d] - 1) {
+    } else if (s == 1 && b.coords[d] == layout_->block_dims()[d] - 1) {
       side.shift = -bc_.box()[d];
     }
   }
@@ -267,7 +271,7 @@ class HaloExchanger {
            static_cast<unsigned>(s);
   }
 
-  DecompLayout<D> layout_;
+  const DecompLayout<D>* layout_;
   Boundary<D> bc_;
   double rc_;
   std::unordered_map<int, std::size_t> local_of_;

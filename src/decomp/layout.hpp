@@ -3,8 +3,15 @@
 // "A general block-cyclic distribution was chosen to enable a clustered
 // simulation to be load-balanced by adjusting the granularity
 // appropriately."  The domain is cut into a D-dimensional grid of blocks;
-// block (c_0..c_{D-1}) belongs to the process at Cartesian coordinates
-// (c_d mod P_d).  Granularity is the number of blocks per process B/P.
+// by default block (c_0..c_{D-1}) belongs to the process at Cartesian
+// coordinates (c_d mod P_d).  Granularity is the number of blocks per
+// process B/P.
+//
+// Ownership is a pluggable per-block assignment table rather than the
+// hard-wired mod rule: set_assignment() installs any block->rank map (the
+// adaptive rebalancer in decomp/rebalance.hpp computes cost-driven
+// tables), and the geometry queries are unaffected — only owner_rank and
+// blocks_of_rank read the table.
 #pragma once
 
 #include <array>
@@ -39,6 +46,10 @@ class DecompLayout {
       }
       nprocs_ *= proc_dims_[d];
       nblocks_ *= block_dims_[d];
+    }
+    owner_.resize(static_cast<std::size_t>(nblocks_));
+    for (int b = 0; b < nblocks_; ++b) {
+      owner_[static_cast<std::size_t>(b)] = cyclic_owner(block_coords(b));
     }
   }
 
@@ -75,11 +86,53 @@ class DecompLayout {
     return c;
   }
 
-  // Rank owning a block: the cyclic assignment.
+  // Rank owning a block: reads the assignment table (the cyclic mapping
+  // until set_assignment installs another).
   int owner_rank(const std::array<int, D>& block) const {
+    return owner_[static_cast<std::size_t>(block_index(block))];
+  }
+  int owner_of_index(int block) const {
+    return owner_[static_cast<std::size_t>(block)];
+  }
+
+  // The default (c_d mod P_d) owner, independent of the installed table.
+  int cyclic_owner(const std::array<int, D>& block) const {
     int r = 0;
     for (int d = 0; d < D; ++d) r = r * proc_dims_[d] + block[d] % proc_dims_[d];
     return r;
+  }
+
+  // Install a block->rank assignment table (one entry per block, every
+  // rank in range, every rank owning at least one block — an empty rank
+  // would deadlock the collective rebuild phases' message counts in
+  // subtle ways, and the rebalancer never produces one).
+  void set_assignment(std::vector<int> table) {
+    if (static_cast<int>(table.size()) != nblocks_) {
+      throw std::invalid_argument("set_assignment: one entry per block");
+    }
+    std::vector<char> seen(static_cast<std::size_t>(nprocs_), 0);
+    for (const int r : table) {
+      if (r < 0 || r >= nprocs_) {
+        throw std::invalid_argument("set_assignment: rank out of range");
+      }
+      seen[static_cast<std::size_t>(r)] = 1;
+    }
+    for (const char s : seen) {
+      if (!s) throw std::invalid_argument("set_assignment: rank owns no block");
+    }
+    owner_ = std::move(table);
+  }
+
+  const std::vector<int>& assignment() const { return owner_; }
+
+  // True while the table is still the default cyclic mapping.
+  bool cyclic() const {
+    for (int b = 0; b < nblocks_; ++b) {
+      if (owner_[static_cast<std::size_t>(b)] != cyclic_owner(block_coords(b))) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // Global block coordinates of every block owned by `rank`, in a fixed
@@ -152,6 +205,7 @@ class DecompLayout {
   std::array<int, D> block_dims_{};
   int nprocs_ = 0;
   int nblocks_ = 0;
+  std::vector<int> owner_;  // assignment table: block index -> rank
 };
 
 }  // namespace hdem

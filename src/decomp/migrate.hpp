@@ -7,6 +7,7 @@
 // more than one block boundary still lands correctly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -76,7 +77,16 @@ void migrate_particles(std::vector<BlockDomain<D>>& blocks,
     b.ncore = b.store.size();
   }
 
+  // Append arrivals in (block, id) order rather than sender-rank order: a
+  // migrant's sender is whoever owns its source block, so rank order is a
+  // function of the assignment table.  Two arrivals binned into the same
+  // cell keep their append order through the stable counting sort, and
+  // from there it reaches link order and floating-point summation order —
+  // so a table-dependent order would make trajectories diverge bitwise
+  // after an adaptive remap.  Sorting by stable id makes the store order,
+  // and hence the physics, invariant under any ownership table.
   const auto incoming = comm.alltoall(std::move(outgoing));
+  std::vector<Migrant<D>> arrivals;
   for (const auto& buf : incoming) {
     if (buf.size() % sizeof(Migrant<D>) != 0) {
       throw std::logic_error("migrate_particles: torn migrant buffer");
@@ -85,9 +95,105 @@ void migrate_particles(std::vector<BlockDomain<D>>& blocks,
     for (std::size_t k = 0; k < n; ++k) {
       Migrant<D> m;
       std::memcpy(&m, buf.data() + k * sizeof(Migrant<D>), sizeof(Migrant<D>));
+      if (!local_of.count(m.dest_block)) {
+        throw std::logic_error("migrate_particles: migrant for foreign block");
+      }
+      arrivals.push_back(m);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Migrant<D>& a, const Migrant<D>& b) {
+              if (a.dest_block != b.dest_block) return a.dest_block < b.dest_block;
+              return a.id < b.id;
+            });
+  for (const auto& m : arrivals) {
+    auto& b = blocks[local_of.at(m.dest_block)];
+    b.store.push_back(m.pos, m.vel, m.id);
+    b.ncore = b.store.size();
+  }
+  counters.migrated_particles += moved;
+}
+
+// Whole-block handoff after an assignment-table change: reconcile this
+// rank's block set with layout.blocks_of_rank(rank), shipping the core
+// particles of every block lost to another rank through the same
+// Migrant/alltoall path (dest_block = the block's own index, so delivery
+// reuses the particle-migration wire format).  On entry every store must
+// hold core particles only; on exit blocks_ matches the new table, in
+// ascending block-index order.  Collective: every rank must call, with the
+// identical table already installed in `layout`.
+template <int D>
+void migrate_blocks(std::vector<BlockDomain<D>>& blocks,
+                    const DecompLayout<D>& layout, const Vec<D>& box,
+                    mp::Comm& comm, Counters& counters) {
+  static_assert(std::is_trivially_copyable_v<Migrant<D>>);
+  std::vector<std::vector<std::byte>> outgoing(
+      static_cast<std::size_t>(comm.size()));
+  std::uint64_t moved = 0;
+
+  // Keep blocks still owned; pack and drop the rest.
+  std::vector<BlockDomain<D>> kept;
+  for (auto& b : blocks) {
+    if (b.store.size() != b.ncore) {
+      throw std::logic_error("migrate_blocks: halos not truncated");
+    }
+    const int dest_rank = layout.owner_of_index(b.index);
+    if (dest_rank == comm.rank()) {
+      kept.push_back(std::move(b));
+      continue;
+    }
+    auto& buf = outgoing[static_cast<std::size_t>(dest_rank)];
+    for (std::size_t i = 0; i < b.store.size(); ++i) {
+      Migrant<D> m;
+      m.dest_block = static_cast<std::int32_t>(b.index);
+      m.id = b.store.id(i);
+      m.pos = b.store.pos(i);
+      m.vel = b.store.vel(i);
+      const std::size_t off = buf.size();
+      buf.resize(off + sizeof(Migrant<D>));
+      std::memcpy(buf.data() + off, &m, sizeof(Migrant<D>));
+      ++moved;
+    }
+  }
+  blocks = std::move(kept);
+
+  // Instantiate empty domains for newly acquired blocks, then restore the
+  // canonical ascending-index order every driver iterates in.
+  std::unordered_map<int, std::size_t> local_of;
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    local_of[blocks[k].index] = k;
+  }
+  for (const auto& coords : layout.blocks_of_rank(comm.rank())) {
+    const int bi = layout.block_index(coords);
+    if (local_of.count(bi)) continue;
+    BlockDomain<D> b;
+    b.coords = coords;
+    b.index = bi;
+    b.lo = layout.block_lo(coords, box);
+    b.hi = b.lo + layout.block_width(box);
+    blocks.push_back(std::move(b));
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BlockDomain<D>& a, const BlockDomain<D>& b) {
+              return a.index < b.index;
+            });
+  local_of.clear();
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    local_of[blocks[k].index] = k;
+  }
+
+  const auto incoming = comm.alltoall(std::move(outgoing));
+  for (const auto& buf : incoming) {
+    if (buf.size() % sizeof(Migrant<D>) != 0) {
+      throw std::logic_error("migrate_blocks: torn migrant buffer");
+    }
+    const std::size_t n = buf.size() / sizeof(Migrant<D>);
+    for (std::size_t k = 0; k < n; ++k) {
+      Migrant<D> m;
+      std::memcpy(&m, buf.data() + k * sizeof(Migrant<D>), sizeof(Migrant<D>));
       const auto it = local_of.find(m.dest_block);
       if (it == local_of.end()) {
-        throw std::logic_error("migrate_particles: migrant for foreign block");
+        throw std::logic_error("migrate_blocks: block for foreign rank");
       }
       auto& b = blocks[it->second];
       b.store.push_back(m.pos, m.vel, m.id);

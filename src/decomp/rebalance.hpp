@@ -1,0 +1,152 @@
+// Cost-driven adaptive block remapping.
+//
+// The paper load-balances clustered simulations only statically, "by
+// adjusting the granularity appropriately" — the block-cyclic mod mapping
+// spreads a cluster across ranks as long as the cluster's spatial period
+// exceeds the process grid's.  When it does not (a thin sediment layer, a
+// corner blob narrower than the cyclic stride), the mod mapping leaves
+// whole ranks idle.  This module closes that gap: every rank accumulates a
+// measured per-block step cost, the cost vectors are exchanged at list
+// rebuild, and a deterministic greedy repartitioner computes a new
+// assignment table for DecompLayout.
+//
+// Determinism is the load-bearing property: every rank runs the identical
+// pure-integer algorithm on the identical gathered cost vector, so all
+// ranks adopt the identical table with no extra collective beyond the
+// cost exchange itself.  Ties are broken by a space-filling-curve (Morton)
+// key of the block coordinates so the decision never depends on rank,
+// thread timing, or floating-point summation order.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "decomp/layout.hpp"
+#include "mp/comm.hpp"
+
+namespace hdem {
+
+// One rank's measurement of one of its blocks.  Trivially copyable: the
+// cost exchange ships these through the byte-oriented allgatherv.
+struct BlockCost {
+  std::int32_t block = -1;    // global block index
+  std::uint64_t cost = 0;     // accumulated step cost (ns or link-weight)
+};
+static_assert(std::is_trivially_copyable_v<BlockCost>);
+
+// Exchange per-block costs: each rank contributes the entries for the
+// blocks it owns; every rank returns with the identical full per-block
+// vector (allgatherv concatenates in rank order, and block indices are
+// disjoint across ranks, so the scatter below is order-independent).
+inline std::vector<std::uint64_t> exchange_block_costs(
+    int nblocks, std::span<const BlockCost> mine, mp::Comm& comm) {
+  const auto all = comm.allgatherv<BlockCost>(mine);
+  std::vector<std::uint64_t> cost(static_cast<std::size_t>(nblocks), 0);
+  for (const auto& bc : all) {
+    if (bc.block < 0 || bc.block >= nblocks) {
+      throw std::logic_error("exchange_block_costs: block index out of range");
+    }
+    cost[static_cast<std::size_t>(bc.block)] = bc.cost;
+  }
+  return cost;
+}
+
+// Morton (Z-order) key of a block coordinate: interleaves the bits of the
+// D coordinates so blocks that are near in space sort near each other.
+// Used as the LPT tie-break, which keeps equal-cost blocks (e.g. the empty
+// ones of a clustered workload) spatially clustered per rank — fewer
+// remote halo faces than an index-order tie-break would give.
+template <int D>
+std::uint64_t morton_key(const std::array<int, D>& c) {
+  std::uint64_t key = 0;
+  for (int bit = 0; bit < 21; ++bit) {
+    for (int d = 0; d < D; ++d) {
+      key |= static_cast<std::uint64_t>((c[d] >> bit) & 1)
+             << (bit * D + d);
+    }
+  }
+  return key;
+}
+
+// Max-over-ranks / mean-over-ranks load ratio implied by `assignment`, in
+// permille (integer arithmetic end to end: every rank computes the exact
+// same value).  1000 = perfectly balanced.  Zero total cost reports 1000.
+inline std::uint64_t imbalance_permille(std::span<const std::uint64_t> cost,
+                                        std::span<const int> assignment,
+                                        int nprocs) {
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(nprocs), 0);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < cost.size(); ++b) {
+    load[static_cast<std::size_t>(assignment[b])] += cost[b];
+    total += cost[b];
+  }
+  if (total == 0) return 1000;
+  std::uint64_t max_load = 0;
+  for (const std::uint64_t l : load) max_load = std::max(max_load, l);
+  return max_load * static_cast<std::uint64_t>(nprocs) * 1000 / total;
+}
+
+// Deterministic LPT (longest-processing-time) repartition: blocks in
+// descending cost order (Morton key, then block index, breaking ties) are
+// assigned greedily to the least-loaded rank (lowest rank id breaking
+// ties).  Zero-cost blocks are clamped to weight 1, which both spreads
+// them evenly and guarantees every rank owns at least one block whenever
+// nblocks >= nprocs.
+template <int D>
+std::vector<int> lpt_assignment(const DecompLayout<D>& layout,
+                                std::span<const std::uint64_t> cost) {
+  const int nblocks = layout.nblocks();
+  const int nprocs = layout.nprocs();
+  if (static_cast<int>(cost.size()) != nblocks) {
+    throw std::invalid_argument("lpt_assignment: one cost per block");
+  }
+  struct Item {
+    std::uint64_t cost;
+    std::uint64_t morton;
+    std::int32_t block;
+  };
+  std::vector<Item> items(static_cast<std::size_t>(nblocks));
+  for (int b = 0; b < nblocks; ++b) {
+    items[static_cast<std::size_t>(b)] = {
+        std::max<std::uint64_t>(cost[static_cast<std::size_t>(b)], 1),
+        morton_key<D>(layout.block_coords(b)), b};
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.morton != b.morton) return a.morton < b.morton;
+    return a.block < b.block;
+  });
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(nprocs), 0);
+  std::vector<int> table(static_cast<std::size_t>(nblocks), 0);
+  for (const Item& it : items) {
+    int best = 0;
+    for (int r = 1; r < nprocs; ++r) {
+      if (load[static_cast<std::size_t>(r)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    table[static_cast<std::size_t>(it.block)] = best;
+    load[static_cast<std::size_t>(best)] += it.cost;
+  }
+  return table;
+}
+
+// The rebalancer's adoption rule, shared by the driver and the tests.
+// Adopt the candidate table only when the current assignment is imbalanced
+// past the threshold AND the candidate is a strict improvement — both
+// sides in deterministic integer permille, so every rank decides alike.
+inline bool should_adopt(std::uint64_t current_permille,
+                         std::uint64_t candidate_permille,
+                         double threshold) {
+  const auto threshold_permille =
+      static_cast<std::uint64_t>(threshold * 1000.0);
+  return current_permille > threshold_permille &&
+         candidate_permille < current_permille;
+}
+
+}  // namespace hdem

@@ -15,6 +15,9 @@
 // communication is performed by the master thread.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -32,6 +35,7 @@
 #include "decomp/halo.hpp"
 #include "decomp/layout.hpp"
 #include "decomp/migrate.hpp"
+#include "decomp/rebalance.hpp"
 #include "mp/comm.hpp"
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
@@ -61,6 +65,19 @@ class MpSim {
     // Trajectories are bit-identical to the synchronous schedule — within
     // each block core links are accumulated before halo links either way.
     bool overlap = false;
+    // Deterministic work stealing over color-plan chunks (colored
+    // reduction only): threads claim chunks from an atomic cursor instead
+    // of walking static runs.  Conflict-free under the color plan, so
+    // trajectories stay bit-identical at any team size.
+    bool steal = false;
+    // Adaptive cost-driven block remapping: accumulate measured per-block
+    // step cost, exchange the cost vector at list rebuilds, and adopt a
+    // deterministic LPT assignment table when the measured imbalance
+    // exceeds rebalance_threshold (max/mean rank load).  Blocks migrate
+    // whole; halo plans are rebuilt against the new table; trajectories
+    // are unaffected (per-block physics is ownership-independent).
+    bool rebalance = false;
+    double rebalance_threshold = 1.15;
   };
 
   MpSim(const SimConfig<D>& cfg, const DecompLayout<D>& layout,
@@ -72,7 +89,10 @@ class MpSim {
         comm_(&comm),
         model_(model),
         boundary_(cfg.bc, cfg.box),
-        halo_(layout, boundary_, cfg.cutoff()),
+        // The exchanger aliases this driver's layout_ (declared before
+        // halo_), so rebalancer edits to the assignment table are visible
+        // at the next template rebuild.
+        halo_(layout_, boundary_, cfg.cutoff()),
         opts_(opts) {
     cfg_.validate();
     layout_.validate(cfg_);
@@ -87,11 +107,20 @@ class MpSim {
     }
     if (opts_.fused && opts_.reduction != ReductionKind::kAtomicAll &&
         opts_.reduction != ReductionKind::kSelectedAtomic &&
-        opts_.reduction != ReductionKind::kNoLock) {
+        opts_.reduction != ReductionKind::kNoLock &&
+        opts_.reduction != ReductionKind::kColored) {
       throw std::invalid_argument(
-          "MpSim: fused mode supports the atomic-family reductions only "
-          "(private-array strategies need per-block merge phases, colored "
-          "needs per-block color barriers)");
+          "MpSim: fused mode supports the atomic-family and colored "
+          "reductions only (private-array strategies need per-block merge "
+          "phases)");
+    }
+    if (opts_.steal && opts_.reduction != ReductionKind::kColored) {
+      throw std::invalid_argument(
+          "MpSim: work stealing requires the colored reduction (chunk "
+          "claiming is only conflict-free under the color plan)");
+    }
+    if (opts_.rebalance_threshold < 1.0) {
+      throw std::invalid_argument("MpSim: rebalance threshold below 1.0");
     }
     if (opts_.nthreads > 1) {
       team_ = std::make_unique<smp::ThreadTeam>(opts_.nthreads);
@@ -149,21 +178,34 @@ class MpSim {
     potential_ = 0.0;
     double max_v = 0.0;
     if (team_ && opts_.fused) {
+      const bool colored = opts_.reduction == ReductionKind::kColored;
       if (opts_.overlap) {
         double pe_core = 0.0;
         {
           trace::Scope scope(trace::Phase::kForce, comm_->rank());
-          pe_core = fused_force_pass(ForceSection::kCore);
+          pe_core = colored ? fused_colored_force_pass(ForceSection::kCore)
+                            : fused_force_pass(ForceSection::kCore);
         }
         {
           trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
           halo_.finish_swap(blocks_, *comm_, counters_);
         }
         trace::Scope scope(trace::Phase::kForce, comm_->rank());
-        potential_ = pe_core + fused_force_pass(ForceSection::kHalo);
+        potential_ =
+            pe_core + (colored ? fused_colored_force_pass(ForceSection::kHalo)
+                               : fused_force_pass(ForceSection::kHalo));
       } else {
         trace::Scope scope(trace::Phase::kForce, comm_->rank());
-        potential_ = fused_force_pass(ForceSection::kAll);
+        potential_ = colored ? fused_colored_force_pass(ForceSection::kAll)
+                             : fused_force_pass(ForceSection::kAll);
+      }
+      // Links walked per step is the cost signal (ISSUE: links walked ×
+      // ns/link — the scale factor cancels out of LPT's relative weights).
+      // Unlike wall-clock timings it is identical on every run, rank and
+      // team size, so every schedule adopts the same tables at the same
+      // rebuilds and the bit-identity gate holds by construction.
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        block_cost_ns_[k] += blocks_[k].links.size();
       }
       {
         trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
@@ -192,6 +234,7 @@ class MpSim {
               b.links.core(), b.store, model_, disp, /*update_both=*/true,
               1.0, &counters_);
         }
+        block_cost_ns_[k] += b.links.n_core;
       }
       {
         trace::Scope scope(trace::Phase::kHaloWait, comm_->rank());
@@ -210,6 +253,7 @@ class MpSim {
                 b.links.halo(), b.store, model_, disp, /*update_both=*/false,
                 0.5, &counters_);
           }
+          block_cost_ns_[k] += b.links.size() - b.links.n_core;
         }
         trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
         const double v =
@@ -234,6 +278,7 @@ class MpSim {
             potential_ += dispatch_force_pass<D>(accs_[k], *team_, b.links,
                                                  b.store, model_, disp,
                                                  &counters_);
+            block_cost_ns_[k] += b.links.size();
           }
           trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
           const double v = smp_update_positions(*team_, b.store, b.ncore,
@@ -250,6 +295,7 @@ class MpSim {
             potential_ += accumulate_forces<D>(b.links.halo(), b.store, model_,
                                                disp, /*update_both=*/false, 0.5,
                                                &counters_);
+            block_cost_ns_[k] += b.links.size();
           }
           trace::Scope scope(trace::Phase::kUpdate, comm_->rank());
           const double v = kick_drift(b.store, b.ncore, cfg_.dt, cfg_.gravity,
@@ -276,6 +322,11 @@ class MpSim {
 
   void rebuild() {
     for (auto& b : blocks_) b.store.truncate(b.ncore);
+    // Rebalance before particle migration: whole blocks move first, then
+    // the ordinary migration re-homes stray particles against the (possibly
+    // updated) table, and everything below — templates, lists, accumulator
+    // plans — is rebuilt against the new ownership.
+    if (opts_.rebalance) maybe_rebalance();
     {
       trace::Scope scope(trace::Phase::kMigrate, comm_->rank());
       migrate_particles(blocks_, layout_, boundary_, *comm_, counters_);
@@ -369,6 +420,9 @@ class MpSim {
       counters_.particles += b.ncore;
     }
     if (team_) prepare_team_accumulators();
+    // Fresh cost window for the next rebuild interval (and the right size
+    // after a block handoff).
+    block_cost_ns_.assign(blocks_.size(), 0);
     drift_ = 0.0;
     ++counters_.rebuilds;
   }
@@ -421,6 +475,9 @@ class MpSim {
       c.barriers = team_->barriers();
       c.critical_sections = team_->criticals();
     }
+    // Live per-block cost window (since the last rebuild), for the
+    // imbalance diagnostics and tests.
+    c.block_cost_ns = block_cost_ns_;
     return c;
   }
 
@@ -430,7 +487,46 @@ class MpSim {
   mp::Comm& comm() { return *comm_; }
 
  private:
+  // The tentpole's decision step, run at every list rebuild when enabled.
+  // Collective: every rank contributes its measured per-block costs to one
+  // allgatherv, then runs the identical pure-integer procedure (permille
+  // imbalance of the current table vs the deterministic LPT candidate) on
+  // the identical vector — so all ranks adopt, or keep, the same table
+  // with no further communication.  On adoption, whole blocks hand their
+  // particles to the new owners before the ordinary migration runs.
+  void maybe_rebalance() {
+    trace::Scope scope(trace::Phase::kRebalance, comm_->rank());
+    std::vector<BlockCost> mine(blocks_.size());
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      mine[k].block = blocks_[k].index;
+      mine[k].cost = k < block_cost_ns_.size() ? block_cost_ns_[k] : 0;
+    }
+    const auto cost = exchange_block_costs(layout_.nblocks(), mine, *comm_);
+    // Construction rebuild (or a rebuild before any step): nothing has
+    // been measured anywhere, so keep the current table.  The check is on
+    // the gathered vector, which every rank sees identically.
+    bool measured = false;
+    for (const std::uint64_t c : cost) measured = measured || c != 0;
+    if (!measured) return;
+    const std::uint64_t current =
+        imbalance_permille(cost, layout_.assignment(), layout_.nprocs());
+    std::vector<int> candidate = lpt_assignment<D>(layout_, cost);
+    const std::uint64_t cand =
+        imbalance_permille(cost, candidate, layout_.nprocs());
+    if (!should_adopt(current, cand, opts_.rebalance_threshold)) return;
+    std::uint64_t moved = 0;
+    for (std::size_t b = 0; b < candidate.size(); ++b) {
+      if (candidate[b] != layout_.assignment()[b]) ++moved;
+    }
+    layout_.set_assignment(std::move(candidate));
+    migrate_blocks(blocks_, layout_, cfg_.box, *comm_, counters_);
+    counters_.blocks_reassigned += moved;
+    ++counters_.rebalances;
+    counters_.blocks = blocks_.size();
+  }
+
   void prepare_team_accumulators() {
+    accs_.resize(blocks_.size());
     // Global prefix offsets of each block's links / core particles, used
     // by the fused scheme's single static partitions.  The overlapped
     // fused schedule partitions the core-link and halo-link totals
@@ -455,6 +551,10 @@ class MpSim {
     for (std::size_t k = 0; k < blocks_.size(); ++k) {
       auto& b = blocks_[k];
       accs_[k] = make_accumulator<D>(opts_.reduction);
+      if (opts_.steal) {
+        // Survives until the next make_accumulator (i.e. set every rebuild).
+        std::get<ColoredAccumulator<D>>(accs_[k]).set_steal(true);
+      }
       if (opts_.fused) {
         std::visit(
             [&](auto& a) {
@@ -473,10 +573,10 @@ class MpSim {
                                       halo_link_offset_.back());
                 }
               } else if constexpr (std::is_same_v<T, ColoredAccumulator<D>>) {
-                // Unreachable: the Options validation rejects fused+colored
-                // (one global link partition cannot honour per-block phase
-                // barriers).
-                throw std::logic_error("MpSim: fused colored reduction");
+                // The fused colored pass walks global color phases but each
+                // chunk is still a per-block color-plan chunk, so the
+                // per-block prepare supplies everything it needs.
+                a.prepare(team_->size(), b.links, b.ncore);
               } else {
                 a.prepare(team_->size(), std::span<const Link>(b.links.links),
                           b.links.n_core, b.ncore);
@@ -487,6 +587,188 @@ class MpSim {
         prepare_accumulator<D>(accs_[k], team_->size(), b.links, b.ncore);
       }
     }
+    if (opts_.fused && opts_.reduction == ReductionKind::kColored) {
+      build_fused_color_phases();
+    }
+  }
+
+  // Fused colored schedule (Section 11 proposal × colored reduction): one
+  // parallel region per pass, but instead of one static partition of the
+  // global link range, the pass runs four barrier-separated *global* color
+  // phases — every block's core color 0, then core color 1, then halo
+  // color 0, then halo color 1.  Chunks of different blocks touch
+  // different stores and same-color chunks within a block are
+  // conflict-free by the plan, so every phase is race-free with plain
+  // stores.  Each particle still sees core color 0 before core color 1
+  // before the halo colors — the per-block colored order — so the forces
+  // are bit-identical to the per-block colored driver (and the serial
+  // one).  A block with one color or no halo links simply contributes no
+  // items to the absent phases.
+  struct FusedChunk {
+    std::int32_t block;  // local block position
+    std::int32_t chunk;  // chunk id in that block's color plan
+  };
+
+  void build_fused_color_phases() {
+    for (int ph = 0; ph < 4; ++ph) {
+      fused_items_[ph].clear();
+      fused_weight_[ph].assign(1, 0);
+    }
+    for (std::size_t k = 0; k < blocks_.size(); ++k) {
+      const auto& ca = std::get<ColoredAccumulator<D>>(accs_[k]);
+      const bool halo = blocks_[k].links.size() > blocks_[k].links.n_core;
+      for (int color = 0; color < ca.ncolors(); ++color) {
+        for (const int chunk : ca.color_chunks(color)) {
+          const auto [clo, chi] = ca.core_range(chunk);
+          fused_items_[color].push_back(
+              {static_cast<std::int32_t>(k), chunk});
+          fused_weight_[color].push_back(
+              fused_weight_[color].back() +
+              static_cast<std::uint64_t>(chi - clo));
+          if (halo) {
+            const auto [hlo, hhi] = ca.halo_range(chunk);
+            fused_items_[2 + color].push_back(
+                {static_cast<std::int32_t>(k), chunk});
+            fused_weight_[2 + color].push_back(
+                fused_weight_[2 + color].back() +
+                static_cast<std::uint64_t>(hhi - hlo));
+          }
+        }
+      }
+    }
+    // Static per-phase thread bounds, weight-balanced by link count with
+    // the same midpoint rule as ColoredAccumulator::prepare.
+    const auto tsz = static_cast<std::size_t>(team_->size());
+    std::size_t slot = 0;
+    for (int ph = 0; ph < 4; ++ph) {
+      const std::size_t m = fused_items_[ph].size();
+      const std::uint64_t total = fused_weight_[ph].back();
+      auto& bound = fused_bounds_[ph];
+      bound.assign(tsz + 1, m);
+      bound[0] = 0;
+      std::size_t cursor = 0;
+      for (std::size_t t = 1; t < tsz; ++t) {
+        if (total == 0) {
+          cursor = m * t / tsz;
+        } else {
+          const std::uint64_t target = total * t / tsz;
+          while (cursor < m && (fused_weight_[ph][cursor] +
+                                fused_weight_[ph][cursor + 1]) /
+                                       2 <=
+                                   target) {
+            ++cursor;
+          }
+        }
+        bound[t] = cursor;
+      }
+      fused_slot_[ph] = slot;
+      slot += m;
+    }
+    fused_pe_.assign(slot, 0.0);
+  }
+
+  double fused_colored_force_pass(ForceSection section) {
+    const int t_count = team_->size();
+    std::vector<std::uint64_t> contacts(static_cast<std::size_t>(t_count) * 8,
+                                        0);
+    std::vector<std::uint64_t> cost(static_cast<std::size_t>(t_count) * 8, 0);
+    std::array<std::atomic<std::size_t>, 4> cursors{};
+    const int ph_lo = section == ForceSection::kHalo ? 2 : 0;
+    const int ph_hi = section == ForceSection::kCore ? 2 : 4;
+    for (int ph = ph_lo; ph < ph_hi; ++ph) {
+      std::fill(fused_pe_.begin() + static_cast<std::int64_t>(fused_slot_[ph]),
+                fused_pe_.begin() + static_cast<std::int64_t>(
+                                        fused_slot_[ph] +
+                                        fused_items_[ph].size()),
+                0.0);
+    }
+    team_->parallel([&](int tid) {
+      if (section != ForceSection::kHalo) {
+        for (auto& b : blocks_) {
+          const auto r = smp::static_block(
+              0, static_cast<std::int64_t>(b.store.size()), tid, t_count);
+          auto frc = b.store.forces();
+          for (std::int64_t i = r.lo; i < r.hi; ++i) {
+            frc[static_cast<std::size_t>(i)] = Vec<D>{};
+          }
+        }
+        team_->barrier();
+      }
+      std::uint64_t my_contacts = 0;
+      std::uint64_t my_ns = 0;
+      const auto run_item = [&](int ph, std::size_t k) {
+        const FusedChunk it = fused_items_[ph][k];
+        auto& b = blocks_[static_cast<std::size_t>(it.block)];
+        auto& ca =
+            std::get<ColoredAccumulator<D>>(accs_[static_cast<std::size_t>(
+                it.block)]);
+        const bool halo = ph >= 2;
+        const auto [lo, hi] =
+            halo ? ca.halo_range(it.chunk) : ca.core_range(it.chunk);
+        const auto sink = [&](std::int32_t p, const Vec<D>& f) {
+          ca.add(tid, p, f, b.store);
+        };
+        const PairDisp<D> disp{};
+        const Timer rt;
+        const double v = batched_pair_links<D>(
+            std::span<const Link>(b.links.links.data() + lo, hi - lo),
+            b.store.positions(), b.store.velocities(), model_, disp, !halo,
+            halo ? 0.5 : 1.0, my_contacts, sink);
+        my_ns += static_cast<std::uint64_t>(rt.seconds() * 1e9);
+        // Per-item energy slot in fixed (phase, item) order: the reported
+        // potential is identical whichever thread ran the item and at any
+        // team size (static or stealing).
+        fused_pe_[fused_slot_[ph] + k] = v;
+      };
+      bool first = true;
+      for (int ph = ph_lo; ph < ph_hi; ++ph) {
+        if (!first) team_->barrier();
+        first = false;
+        if (opts_.steal) {
+          auto& cursor = cursors[static_cast<std::size_t>(ph)];
+          for (;;) {
+            const std::size_t k =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (k >= fused_items_[ph].size()) break;
+            run_item(ph, k);
+          }
+        } else {
+          const auto& bound = fused_bounds_[ph];
+          const auto t = static_cast<std::size_t>(tid);
+          for (std::size_t k = bound[t]; k < bound[t + 1]; ++k) {
+            run_item(ph, k);
+          }
+        }
+      }
+      contacts[static_cast<std::size_t>(tid) * 8] = my_contacts;
+      cost[static_cast<std::size_t>(tid) * 8] = my_ns;
+    });
+    double pe = 0.0;
+    for (int ph = ph_lo; ph < ph_hi; ++ph) {
+      for (std::size_t k = 0; k < fused_items_[ph].size(); ++k) {
+        pe += fused_pe_[fused_slot_[ph] + k];
+      }
+    }
+    if (counters_.thread_cost_ns.size() < static_cast<std::size_t>(t_count)) {
+      counters_.thread_cost_ns.resize(static_cast<std::size_t>(t_count), 0);
+    }
+    for (int t = 0; t < t_count; ++t) {
+      counters_.contacts += contacts[static_cast<std::size_t>(t) * 8];
+      counters_.thread_cost_ns[static_cast<std::size_t>(t)] +=
+          cost[static_cast<std::size_t>(t) * 8];
+    }
+    const std::vector<std::int64_t>& offs =
+        section == ForceSection::kAll
+            ? link_offset_
+            : (section == ForceSection::kCore ? core_link_offset_
+                                              : halo_link_offset_);
+    counters_.force_evals += static_cast<std::uint64_t>(offs.back());
+    counters_.color_barriers +=
+        static_cast<std::uint64_t>(ph_hi - ph_lo - 1);
+    for (auto& acc : accs_) {
+      std::visit([&](auto& a) { a.collect(counters_); }, acc);
+    }
+    return pe;
   }
 
   // One parallel region for the whole rank: zero every block's forces,
@@ -620,6 +902,20 @@ class MpSim {
   // Per-block (core, halo) potential-energy partials for the overlapped
   // schedule, reused across steps.
   std::vector<double> pe_scratch_;
+  // Fused colored schedule: per-global-phase item lists (phase = 2*is_halo
+  // + color), prefix link weights, static thread bounds, and the per-item
+  // potential-energy slots with their per-phase base offsets.
+  std::array<std::vector<FusedChunk>, 4> fused_items_;
+  std::array<std::vector<std::uint64_t>, 4> fused_weight_;
+  std::array<std::vector<std::size_t>, 4> fused_bounds_;
+  std::array<std::size_t, 4> fused_slot_{};
+  std::vector<double> fused_pe_;
+  // Per-block step cost accumulated since the last rebuild, in links
+  // walked (the cost model's dominant term and, unlike a wall-clock
+  // timing, identical across runs, ranks and team sizes — the rebalancer
+  // must see the same vector everywhere to adopt the same table); reset
+  // at every rebuild.
+  std::vector<std::uint64_t> block_cost_ns_;
   double potential_ = 0.0;
   double drift_ = 0.0;
   Counters counters_;

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/boundary.hpp"
@@ -32,9 +33,13 @@ namespace hdem {
 template <int D, class Model = ElasticSphere>
 class SmpSim {
  public:
+  // steal: replace the colored schedule's static chunk runs with
+  // deterministic work stealing over the color-plan chunks (colored
+  // reduction only; trajectories stay bit-identical to the static
+  // schedule at any team size).
   SmpSim(const SimConfig<D>& cfg, const Model& model,
          std::span<const ParticleInit<D>> particles, int nthreads,
-         ReductionKind reduction)
+         ReductionKind reduction, bool steal = false)
       : cfg_(cfg),
         model_(model),
         boundary_(cfg.bc, cfg.box),
@@ -42,6 +47,14 @@ class SmpSim {
         reduction_kind_(reduction),
         acc_(make_accumulator<D>(reduction)) {
     cfg_.validate();
+    if (steal) {
+      if (reduction != ReductionKind::kColored) {
+        throw std::invalid_argument(
+            "SmpSim: work stealing requires the colored reduction (chunk "
+            "claiming is only conflict-free under the color plan)");
+      }
+      std::get<ColoredAccumulator<D>>(acc_).set_steal(true);
+    }
     store_.reserve(particles.size());
     for (std::size_t i = 0; i < particles.size(); ++i) {
       store_.push_back(particles[i].pos, particles[i].vel,

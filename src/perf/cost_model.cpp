@@ -218,6 +218,26 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
                        t_count +
                    n_rank * machine.t_scan);
   }
+  // Load imbalance (opt-in): the step is bulk-synchronous — the rebuild
+  // criterion's allreduce fences every iteration — so everyone waits for
+  // the busiest rank.  The model's work terms are per-rank *means*; the
+  // busiest rank's excess over the mean, measured by per-rank force
+  // evaluations, is pure waiting time added on top.
+  if (layout.model_imbalance && run.per_rank.size() > 1) {
+    double total_w = 0.0;
+    double max_w = 0.0;
+    for (const Counters& c : run.per_rank) {
+      const double w = static_cast<double>(c.force_evals);
+      total_w += w;
+      max_w = std::max(max_w, w);
+    }
+    if (total_w > 0.0) {
+      const double ratio =
+          max_w * static_cast<double>(run.per_rank.size()) / total_w;
+      out.imbalance =
+          (out.compute + out.memory + out.atomic) * (ratio - 1.0);
+    }
+  }
   return out;
 }
 

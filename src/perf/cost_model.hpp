@@ -56,12 +56,16 @@ struct CostBreakdown {
   double sync = 0.0;       // fork/join + barriers + criticals
   double comm = 0.0;       // halo swaps, migration, collectives
   double rebuild = 0.0;    // amortised list rebuild (bin/reorder/linkgen)
+  // Bulk-synchronous wait time implied by the measured per-rank load
+  // spread (opt-in via ModelLayout::model_imbalance; zero otherwise).
+  double imbalance = 0.0;
   // Halo byte cost hidden behind core-link compute by the overlapped
   // schedule (measured overlapped/exposed split).  Informational: comm is
   // already net of this, so it does not enter total().
   double comm_hidden = 0.0;
   double total() const {
-    return compute + memory + atomic + reduction + sync + comm + rebuild;
+    return compute + memory + atomic + reduction + sync + comm + rebuild +
+           imbalance;
   }
 };
 
@@ -80,6 +84,11 @@ struct ModelLayout {
   // independent of the particle count — so extrapolating a reduced-size
   // measurement to the paper's system leaves them unscaled.
   double sync_scale = 1.0;
+  // Opt-in: add a load-imbalance term from the measured per-rank work
+  // spread (max/mean of per-rank force evaluations).  Off by default so
+  // the model's balanced-workload predictions are unchanged; the clustered
+  // benches turn it on.
+  bool model_imbalance = false;
 };
 
 // Extrapolation of a reduced-size measurement to `target_particles` (the

@@ -41,9 +41,18 @@ struct MeasureSpec {
   ReductionKind reduction = ReductionKind::kSelectedAtomic;
   bool fused = false;  // hybrid only: Section 11 fused link loop
   bool overlap = false;  // mp/hybrid: overlap halo swaps with core forces
+  // Deterministic work stealing over color-plan chunks (colored reduction
+  // only; smp/hybrid).
+  bool steal = false;
+  // Cost-driven adaptive block remapping at list rebuilds (mp/hybrid).
+  bool rebalance = false;
+  double rebalance_threshold = 1.15;
   // < 1 confines all particles to the bottom fraction of the box (the
   // clustered, load-imbalanced workload class the paper targets).
   double cluster_fraction = 1.0;
+  // Steps before the measured window (≥ 1 keeps a settle step; raise it so
+  // an adaptive run crosses a rebuild and adopts its table first).
+  std::uint64_t warmup = 1;
   std::uint64_t iterations = 4;
   std::uint64_t seed = 12345;
 };
@@ -97,7 +106,8 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       out.run.nthreads = 1;
       out.run.nblocks = 1;
       SerialSim<D> sim(cfg, model, init);
-      sim.step();  // settle into the steady state
+      // Settle into the steady state.
+      for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
       const Counters before = sim.counters();
       Timer timer;
       sim.run(spec.iterations);
@@ -108,8 +118,9 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
     case MeasureSpec::Mode::kSmp: {
       out.run.nprocs = 1;
       out.run.nblocks = 1;
-      SmpSim<D> sim(cfg, model, init, spec.nthreads, spec.reduction);
-      sim.step();
+      SmpSim<D> sim(cfg, model, init, spec.nthreads, spec.reduction,
+                    spec.steal);
+      for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
       const Counters before = sim.counters();
       Timer timer;
       sim.run(spec.iterations);
@@ -134,9 +145,12 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       opts.reduction = spec.reduction;
       opts.fused = spec.fused;
       opts.overlap = spec.overlap;
+      opts.steal = spec.steal;
+      opts.rebalance = spec.rebalance;
+      opts.rebalance_threshold = spec.rebalance_threshold;
       mp::run(p, [&](mp::Comm& comm) {
         MpSim<D> sim(cfg, layout, comm, model, init, opts);
-        sim.step();
+        for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
         const Counters before = sim.counters();
         const auto bytes_before = comm.bytes_to();
         const auto msgs_before = comm.msgs_to();

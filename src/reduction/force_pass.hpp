@@ -9,7 +9,9 @@
 // the implicit join.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <variant>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "core/particle_store.hpp"
 #include "reduction/strategies.hpp"
 #include "smp/thread_team.hpp"
+#include "util/timer.hpp"
 #include "util/vec.hpp"
 
 namespace hdem {
@@ -30,6 +33,7 @@ struct alignas(64) PadSlot {
   double pe = 0.0;
   double max_v = 0.0;
   std::uint64_t contacts = 0;
+  std::uint64_t cost_ns = 0;
 };
 }  // namespace detail
 
@@ -73,6 +77,31 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
     color_barriers = executed > 0 ? static_cast<std::uint64_t>(executed - 1) : 0;
   }
 
+  // Stealing-schedule shared state: one claim cursor per phase (phases are
+  // barrier-separated inside the single region, so a phase's cursor is
+  // quiescent before any thread reads it) and one potential-energy slot
+  // per (phase, chunk position).  Per-chunk slots summed in fixed order
+  // keep the reported energy deterministic at any team size — per-thread
+  // sums would be shaped by the nondeterministic claiming order.
+  bool steal_mode = false;
+  std::unique_ptr<std::atomic<std::size_t>[]> steal_cursors;
+  std::vector<std::size_t> chunk_slot;
+  std::vector<double> chunk_pe;
+  if constexpr (requires { Accum::kColoredSchedule; }) {
+    if (acc.stealing()) {
+      steal_mode = true;
+      const auto nph = static_cast<std::size_t>(acc.phase_count());
+      steal_cursors = std::make_unique<std::atomic<std::size_t>[]>(nph);
+      chunk_slot.assign(nph + 1, 0);
+      for (std::size_t ph = 0; ph < nph; ++ph) {
+        chunk_slot[ph + 1] =
+            chunk_slot[ph] +
+            acc.color_chunks(acc.phase_color(static_cast<int>(ph))).size();
+      }
+      chunk_pe.assign(chunk_slot.back(), 0.0);
+    }
+  }
+
   team.parallel([&](int tid) {
     // Zero the global force array (parallel over particles, halos too).
     if (section != ForceSection::kHalo) {
@@ -91,15 +120,20 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
     auto vel = store.velocities();
     double my_pe = 0.0;
     std::uint64_t my_contacts = 0;
+    std::uint64_t my_ns = 0;
 
     const auto sink = [&](std::int32_t p, const Vec<D>& f) {
       acc.add(tid, p, f, store);
     };
     auto run = [&](std::size_t lo, std::size_t hi, bool update_both,
                    double pe_weight) {
-      my_pe += batched_pair_links<D>(
+      const Timer rt;
+      const double v = batched_pair_links<D>(
           std::span<const Link>(list.links.data() + lo, hi - lo), pos, vel,
           model, disp, update_both, pe_weight, my_contacts, sink);
+      my_ns += static_cast<std::uint64_t>(rt.seconds() * 1e9);
+      my_pe += v;
+      return v;
     };
 
     if constexpr (requires { Accum::kColoredSchedule; }) {
@@ -119,10 +153,30 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
         }
         if (ran_phase) team.barrier();
         ran_phase = true;
-        for (const int chunk : acc.thread_chunks(acc.phase_color(ph), tid)) {
-          const auto [lo, hi] =
-              halo ? acc.halo_range(chunk) : acc.core_range(chunk);
-          run(lo, hi, !halo, halo ? 0.5 : 1.0);
+        if (steal_mode) {
+          // Claim chunk positions from the phase's cursor.  Within a
+          // color every particle belongs to at most one chunk and each
+          // position is claimed exactly once, so neither the claiming
+          // thread nor the claiming order can change any particle's
+          // accumulation order — forces are bit-identical to the static
+          // schedule.
+          const auto cs = acc.color_chunks(acc.phase_color(ph));
+          auto& cursor = steal_cursors[static_cast<std::size_t>(ph)];
+          for (;;) {
+            const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (k >= cs.size()) break;
+            const int chunk = cs[k];
+            const auto [lo, hi] =
+                halo ? acc.halo_range(chunk) : acc.core_range(chunk);
+            chunk_pe[chunk_slot[static_cast<std::size_t>(ph)] + k] =
+                run(lo, hi, !halo, halo ? 0.5 : 1.0);
+          }
+        } else {
+          for (const int chunk : acc.thread_chunks(acc.phase_color(ph), tid)) {
+            const auto [lo, hi] =
+                halo ? acc.halo_range(chunk) : acc.core_range(chunk);
+            run(lo, hi, !halo, halo ? 0.5 : 1.0);
+          }
         }
       }
     } else {
@@ -141,6 +195,7 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
     acc.thread_finish(team, tid, store);
     slots[static_cast<std::size_t>(tid)].pe = my_pe;
     slots[static_cast<std::size_t>(tid)].contacts = my_contacts;
+    slots[static_cast<std::size_t>(tid)].cost_ns = my_ns;
   });
 
   double pe = 0.0;
@@ -149,7 +204,20 @@ double smp_force_pass(smp::ThreadTeam& team, const LinkList& list,
     pe += s.pe;
     contacts += s.contacts;
   }
+  if (steal_mode) {
+    // Fixed (phase, chunk) summation order, independent of who claimed
+    // what; unexecuted phases of a section pass contribute zero slots.
+    pe = 0.0;
+    for (const double v : chunk_pe) pe += v;
+  }
   if (counters != nullptr) {
+    if (counters->thread_cost_ns.size() < static_cast<std::size_t>(t_count)) {
+      counters->thread_cost_ns.resize(static_cast<std::size_t>(t_count), 0);
+    }
+    for (int t = 0; t < t_count; ++t) {
+      counters->thread_cost_ns[static_cast<std::size_t>(t)] +=
+          slots[static_cast<std::size_t>(t)].cost_ns;
+    }
     acc.collect(*counters);
     counters->color_barriers += color_barriers;
     switch (section) {

@@ -420,6 +420,17 @@ class TransposeAccumulator : public PrivateArrayBase<D> {
 // layout exactly (each particle sees its even chunk's contributions before
 // its odd chunk's in both), which is what makes the trajectories
 // deterministic and bit-identical for every thread count.
+//
+// set_steal(true) switches the force pass from the static contiguous chunk
+// runs to deterministic work stealing: threads claim chunks of the current
+// color from an atomic cursor.  Within a color every particle is written
+// by at most one chunk, so which thread runs a chunk — and in what order
+// the chunks run — cannot change any particle's accumulation order; the
+// trajectories stay bit-identical to the static schedule (and the serial
+// driver) at any team size.  Only the potential-energy partials are
+// schedule-shaped, so the stealing pass stores them in per-chunk slots and
+// sums them in fixed chunk order (per-thread sums would pick up the
+// claiming order).
 template <int D>
 class ColoredAccumulator {
  public:
@@ -498,12 +509,22 @@ class ColoredAccumulator {
     // phases the pass actually ran (a section pass runs a subset).
   }
 
+  // Dynamic chunk claiming (survives re-prepares; set once by the driver).
+  void set_steal(bool steal) { steal_ = steal; }
+  bool stealing() const { return steal_; }
+
   // -- phased-traversal queries (used by smp_force_pass and tests) ----------
   int phase_count() const { return ncolors_ * (has_halo_ ? 2 : 1); }
   bool phase_is_halo(int ph) const { return ph >= ncolors_; }
   int phase_color(int ph) const { return ph % ncolors_; }
   int ncolors() const { return ncolors_; }
   int nchunks() const { return nchunks_; }
+  // All chunk ids of one color, in the plan's canonical order (the
+  // stealing schedule claims positions in this list; the per-chunk energy
+  // slots sum in this order).
+  std::span<const int> color_chunks(int color) const {
+    return std::span<const int>(chunks_[static_cast<std::size_t>(color)]);
+  }
   // Chunk ids of `color` assigned to thread `tid` (contiguous run).
   std::span<const int> thread_chunks(int color, int tid) const {
     const auto& bound = bounds_[color];
@@ -526,6 +547,7 @@ class ColoredAccumulator {
   int ncolors_ = 1;
   int nchunks_ = 0;
   bool has_halo_ = false;
+  bool steal_ = false;
   std::array<std::vector<int>, 2> chunks_;          // chunk ids per color
   std::array<std::vector<std::size_t>, 2> bounds_;  // per color: T+1 splits
   std::vector<std::size_t> core_lo_, core_hi_, halo_lo_, halo_hi_;

@@ -30,6 +30,7 @@ const char* to_string(Phase p) {
     case Phase::kReorder: return "reorder";
     case Phase::kCollective: return "collective";
     case Phase::kIteration: return "iteration";
+    case Phase::kRebalance: return "rebalance";
   }
   return "?";
 }

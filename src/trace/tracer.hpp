@@ -34,10 +34,11 @@ enum class Phase : std::uint8_t {
   kReorder,      // cell-order particle permutation
   kCollective,   // reductions / gathers
   kIteration,    // one whole step (outer bracket)
+  kRebalance,    // cost exchange + repartition + block handoff at rebuild
 };
 
 const char* to_string(Phase p);
-inline constexpr int kPhaseCount = 13;
+inline constexpr int kPhaseCount = 14;
 
 struct Event {
   Phase phase;

@@ -1,0 +1,49 @@
+// Shared command-line group for decomposition granularity and load
+// balancing, so every example and scaling bench exposes the same spelling:
+//
+//   --blocks-per-proc=1,4,16   granularity sweep (single value accepted)
+//   --rebalance                adaptive cost-driven block remapping
+//   --rebalance-threshold=1.15 max/mean rank-load ratio that triggers it
+//   --steal                    deterministic work stealing (colored only)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace hdem {
+
+struct DecompCliOptions {
+  std::vector<std::int64_t> blocks_per_proc;
+  bool rebalance = false;
+  double rebalance_threshold = 1.15;
+  bool steal = false;
+
+  // Convenience for tools that take a single granularity, not a sweep.
+  std::int64_t bpp() const {
+    return blocks_per_proc.empty() ? 1 : blocks_per_proc.front();
+  }
+};
+
+inline DecompCliOptions declare_decomp_options(
+    Cli& cli, std::vector<std::int64_t> default_bpp = {1}) {
+  DecompCliOptions o;
+  o.blocks_per_proc = cli.integer_list(
+      "blocks-per-proc", default_bpp,
+      "blocks per process (comma-separated list for granularity sweeps)");
+  o.rebalance = cli.flag(
+      "rebalance",
+      "adopt a cost-driven LPT block assignment at list rebuilds when the "
+      "measured rank imbalance exceeds the threshold");
+  o.rebalance_threshold = cli.real(
+      "rebalance-threshold", 1.15,
+      "max/mean rank-load ratio beyond which the adaptive table is adopted");
+  o.steal = cli.flag(
+      "steal",
+      "deterministic work stealing over color-plan chunks (colored "
+      "reduction only)");
+  return o;
+}
+
+}  // namespace hdem

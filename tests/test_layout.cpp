@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <set>
+#include <vector>
+
+#include "mp/cart.hpp"
 
 namespace hdem {
 namespace {
@@ -124,6 +129,99 @@ TEST(Layout, GranularityFactorisation) {
   const auto l = DecompLayout<2>::make(4, 8);
   EXPECT_EQ(l.nblocks(), 32);
   EXPECT_EQ(l.blocks_per_proc(), 8);
+}
+
+TEST(Layout, BalancedDimsPrimeCount) {
+  // A prime factorises as n x 1 (x 1): a degenerate but valid grid.
+  EXPECT_EQ((mp::balanced_dims<2>(7)), (std::array<int, 2>{7, 1}));
+  EXPECT_EQ((mp::balanced_dims<3>(5)), (std::array<int, 3>{5, 1, 1}));
+  const auto l = DecompLayout<2>::make(7, 1);
+  EXPECT_EQ(l.nprocs(), 7);
+  EXPECT_EQ(l.nblocks(), 7);
+  for (int r = 0; r < 7; ++r) {
+    EXPECT_EQ(l.blocks_of_rank(r).size(), 1u);
+  }
+}
+
+TEST(Layout, BalancedDimsNonSquare3D) {
+  EXPECT_EQ((mp::balanced_dims<3>(12)), (std::array<int, 3>{3, 2, 2}));
+  const auto l = DecompLayout<3>::make(12, 2);
+  EXPECT_EQ(l.nprocs(), 12);
+  EXPECT_EQ(l.blocks_per_proc(), 2);
+  EXPECT_EQ(l.nblocks(), 24);
+}
+
+TEST(Layout, MakeSingleBlockPerProc) {
+  // B/P = 1 is the paper's coarsest granularity: the block grid equals
+  // the process grid and each rank owns exactly its own block.
+  for (const int p : {1, 2, 3, 4, 6, 9, 16}) {
+    const auto l = DecompLayout<2>::make(p, 1);
+    EXPECT_EQ(l.nblocks(), p);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(l.blocks_of_rank(r).size(), 1u);
+      EXPECT_EQ(l.owner_rank(l.blocks_of_rank(r)[0]), r);
+    }
+  }
+}
+
+TEST(Layout, AssignmentDefaultsToCyclic) {
+  const auto l = DecompLayout<2>::make(4, 4);
+  EXPECT_TRUE(l.cyclic());
+  for (int b = 0; b < l.nblocks(); ++b) {
+    EXPECT_EQ(l.owner_of_index(b), l.cyclic_owner(l.block_coords(b)));
+  }
+}
+
+TEST(Layout, SetAssignmentOverridesOwnership) {
+  auto l = DecompLayout<2>::make(4, 4);
+  // Reverse the cyclic table: still a valid permutation of ownership.
+  std::vector<int> table = l.assignment();
+  for (auto& r : table) r = l.nprocs() - 1 - r;
+  l.set_assignment(table);
+  EXPECT_FALSE(l.cyclic());
+  std::set<int> seen;
+  for (int r = 0; r < l.nprocs(); ++r) {
+    for (const auto& c : l.blocks_of_rank(r)) {
+      EXPECT_EQ(l.owner_rank(c), r);
+      EXPECT_EQ(l.cyclic_owner(c), l.nprocs() - 1 - r);
+      EXPECT_TRUE(seen.insert(l.block_index(c)).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), l.nblocks());
+}
+
+TEST(Layout, SetAssignmentValidates) {
+  auto l = DecompLayout<2>::make(4, 4);
+  // One entry per block.
+  EXPECT_THROW(l.set_assignment(std::vector<int>(3, 0)),
+               std::invalid_argument);
+  // Ranks in range.
+  std::vector<int> bad(static_cast<std::size_t>(l.nblocks()), 0);
+  bad[0] = l.nprocs();
+  EXPECT_THROW(l.set_assignment(bad), std::invalid_argument);
+  bad[0] = -1;
+  EXPECT_THROW(l.set_assignment(bad), std::invalid_argument);
+  // Every rank must own at least one block (all-zero starves ranks 1..3).
+  EXPECT_THROW(
+      l.set_assignment(std::vector<int>(
+          static_cast<std::size_t>(l.nblocks()), 0)),
+      std::invalid_argument);
+  // A failed install leaves the table untouched.
+  EXPECT_TRUE(l.cyclic());
+}
+
+TEST(Layout, BlocksOfRankAscendingIndexOrder) {
+  auto l = DecompLayout<2>::make(4, 4);
+  std::vector<int> table = l.assignment();
+  std::rotate(table.begin(), table.begin() + 5, table.end());
+  l.set_assignment(table);
+  for (int r = 0; r < l.nprocs(); ++r) {
+    int prev = -1;
+    for (const auto& c : l.blocks_of_rank(r)) {
+      EXPECT_GT(l.block_index(c), prev);
+      prev = l.block_index(c);
+    }
+  }
 }
 
 }  // namespace
