@@ -99,6 +99,8 @@ int main(int argc, char** argv) {
     mpi.iterations = ctx.iters;
     mpi.rebalance = decomp.rebalance;
     mpi.rebalance_threshold = decomp.rebalance_threshold;
+    mpi.shared_halo = decomp.shared_halo;
+    mpi.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
     // An adaptive run must cross a list rebuild to adopt its table; give
     // it a longer settling window (see bench/fig11_clustered_balance for
     // the direct static-vs-adaptive wall-clock comparison).

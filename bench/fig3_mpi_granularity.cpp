@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
         spec.iterations = ctx.iters;
         spec.rebalance = decomp.rebalance;
         spec.rebalance_threshold = decomp.rebalance_threshold;
+        spec.shared_halo = decomp.shared_halo;
+        spec.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
         const auto m = perf::measure_run(spec);
         const double tp = predict_paper_seconds(
             machine, m.run, mpi_ranks_per_node(machine, s.nprocs));

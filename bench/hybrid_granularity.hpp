@@ -58,6 +58,8 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
       mpi.iterations = ctx.iters;
       mpi.rebalance = decomp.rebalance;
       mpi.rebalance_threshold = decomp.rebalance_threshold;
+      mpi.shared_halo = decomp.shared_halo;
+      mpi.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
       const double t_mpi =
           predict_paper_seconds(machine, perf::measure_run(mpi).run, 4);
       if (bpp == 1) t_ref = t_mpi;

@@ -56,6 +56,8 @@ inline int run_mpi_scaling_bench(int argc, char** argv, bool reorder,
       spec.iterations = ctx.iters;
       spec.rebalance = decomp.rebalance;
       spec.rebalance_threshold = decomp.rebalance_threshold;
+      spec.shared_halo = decomp.shared_halo;
+      spec.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
       measured.emplace(key, perf::measure_run(spec).run);
     }
   }

@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
     MpSim<2>::Options mp_opts;
     mp_opts.rebalance = decomp.rebalance;
     mp_opts.rebalance_threshold = decomp.rebalance_threshold;
+    mp_opts.shared_halo = decomp.shared_halo;
+    mp_opts.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
     MpSim<2> sim(cfg, layout, comm, model, init, mp_opts);
     sim.run(steps);
     const double energy = sim.global_energy();
@@ -106,6 +108,8 @@ int main(int argc, char** argv) {
     opts.steal = decomp.steal;
     opts.rebalance = decomp.rebalance;
     opts.rebalance_threshold = decomp.rebalance_threshold;
+    opts.shared_halo = decomp.shared_halo;
+    opts.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
     MpSim<2> sim(cfg, hybrid_layout, comm, model, init, opts);
     sim.run(steps);
     const double energy = sim.global_energy();

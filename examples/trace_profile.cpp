@@ -40,6 +40,8 @@ void profile(const char* label, const SimConfig<2>& cfg,
     opts.steal = decomp.steal;
     opts.rebalance = decomp.rebalance;
     opts.rebalance_threshold = decomp.rebalance_threshold;
+    opts.shared_halo = decomp.shared_halo;
+    opts.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
     MpSim<2> sim(cfg, layout, comm,
                  ElasticSphere{cfg.stiffness, cfg.diameter}, init, opts);
     sim.run(steps);

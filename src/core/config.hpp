@@ -28,6 +28,13 @@ struct SimConfig {
   double velocity_scale = 0.05;    // initial random speed scale
   Vec<D> gravity{};                // uniform external acceleration
   bool reorder = true;             // cell-order particle reordering at rebuild
+  // Rebuild trigger: measure the true maximum displacement since the last
+  // rebuild each step (exact — positions move freely between rebuilds, so
+  // the Euclidean distance to the rebuild-time reference needs no
+  // minimum-image care), instead of accumulating the conservative
+  // max-speed bound max_v*dt.  Measured drift is never larger than the
+  // accumulated bound, so rebuilds can only become rarer.
+  bool drift_measured = true;
   std::uint64_t seed = 12345;      // RNG seed for initial conditions
 
   double rmax() const { return diameter; }

@@ -33,6 +33,9 @@ Counters& Counters::merge(const Counters& o) {
   bytes_sent += o.bytes_sent;
   msgs_local += o.msgs_local;
   bytes_local += o.bytes_local;
+  msgs_shared += o.msgs_shared;
+  bytes_shared += o.bytes_shared;
+  window_republishes += o.window_republishes;
   collectives += o.collectives;
   migrated_particles += o.migrated_particles;
   irecvs_posted += o.irecvs_posted;
@@ -128,6 +131,9 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.bytes_sent = after.bytes_sent - before.bytes_sent;
   d.msgs_local = after.msgs_local - before.msgs_local;
   d.bytes_local = after.bytes_local - before.bytes_local;
+  d.msgs_shared = after.msgs_shared - before.msgs_shared;
+  d.bytes_shared = after.bytes_shared - before.bytes_shared;
+  d.window_republishes = after.window_republishes - before.window_republishes;
   d.collectives = after.collectives - before.collectives;
   d.migrated_particles = after.migrated_particles - before.migrated_particles;
   d.irecvs_posted = after.irecvs_posted - before.irecvs_posted;
@@ -187,6 +193,8 @@ std::string Counters::summary() const {
      << " local_msgs=" << msgs_local << " local_bytes=" << bytes_local
      << " collectives=" << collectives
      << " migrated=" << migrated_particles << "\n"
+     << "shared: msgs=" << msgs_shared << " bytes=" << bytes_shared
+     << " republishes=" << window_republishes << "\n"
      << "overlap: irecvs=" << irecvs_posted
      << " waits_blocked=" << waits_blocked
      << " bytes_overlapped=" << bytes_overlapped

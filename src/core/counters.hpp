@@ -58,6 +58,13 @@ struct Counters {
   std::uint64_t bytes_sent = 0;        // payload bytes in those messages
   std::uint64_t msgs_local = 0;        // block-to-block copies within a rank
   std::uint64_t bytes_local = 0;       // bytes moved by those copies
+  // Shared-window halo path: gathers performed directly from a same-node
+  // neighbour's position array (tallied by the reader).  Conservation
+  // against the wire path: bytes_sent(wire run) = bytes_sent(shared run)
+  // + bytes_shared(shared run), with bytes_local identical in both.
+  std::uint64_t msgs_shared = 0;       // zero-copy window gathers
+  std::uint64_t bytes_shared = 0;      // bytes moved by those gathers
+  std::uint64_t window_republishes = 0;// window descriptors (re)published
   std::uint64_t collectives = 0;       // barrier/reduce/bcast episodes
   std::uint64_t migrated_particles = 0;// particles re-homed at rebuilds
 

@@ -122,6 +122,40 @@ double kick_drift_range_w(ParticleStore<D>& store, std::size_t lo,
   return std::sqrt(max_v2);
 }
 
+// Max over particles of |pos[i] - ref[i]|^2 via strided component loads;
+// max over non-NaN doubles is order-independent, so a pack max + scalar
+// tail is exact at any width (the same argument as the max-speed pass in
+// kick_drift_range_w).
+template <int D, int W>
+double max_displacement_w(std::span<const Vec<D>> pos,
+                          std::span<const Vec<D>> ref, std::size_t n) {
+  using P = simd::pack<double, W>;
+  static_assert(sizeof(Vec<D>) == D * sizeof(double));
+  const double* posf = reinterpret_cast<const double*>(pos.data());
+  const double* reff = reinterpret_cast<const double*>(ref.data());
+  double max_d2 = 0.0;
+  std::size_t i = 0;
+  if (i + W <= n) {
+    P pmax = P::zero();
+    for (; i + W <= n; i += W) {
+      P acc = P::zero();
+      for (int d = 0; d < D; ++d) {
+        const P a = P::strided(posf + i * D + static_cast<std::size_t>(d), D);
+        const P b = P::strided(reff + i * D + static_cast<std::size_t>(d), D);
+        const P c = a - b;
+        acc = acc + c * c;
+      }
+      pmax = max(pmax, acc);
+    }
+    max_d2 = pmax.hmax();
+  }
+  for (; i < n; ++i) {
+    const double d2 = norm2(pos[i] - ref[i]);
+    if (d2 > max_d2) max_d2 = d2;
+  }
+  return max_d2;
+}
+
 template <int D, int W>
 double kinetic_energy_w(std::span<const Vec<D>> vel, std::size_t ncore) {
   using P = simd::pack<double, W>;
@@ -194,6 +228,29 @@ double kick_drift(ParticleStore<D>& store, std::size_t ncore, double dt,
                   const Vec<D>& gravity, const Boundary<D>& bc,
                   Counters* counters = nullptr) {
   return kick_drift_range(store, 0, ncore, dt, gravity, bc, counters);
+}
+
+// Maximum displacement of the first n particles relative to reference
+// positions recorded at the last rebuild — the measured drift that
+// replaces the accumulated max_v*dt bound when SimConfig::drift_measured
+// is set.  Max is order-independent, so the result is bit-identical at
+// every SIMD width and under any partitioning of the range.
+template <int D>
+double max_displacement(std::span<const Vec<D>> pos,
+                        std::span<const Vec<D>> ref, std::size_t n) {
+  const int w = simd::dispatch_width();
+  if constexpr (simd::kMaxWidth >= 4) {
+    if (w >= 4) return std::sqrt(detail::max_displacement_w<D, 4>(pos, ref, n));
+  }
+  if constexpr (simd::kMaxWidth >= 2) {
+    if (w >= 2) return std::sqrt(detail::max_displacement_w<D, 2>(pos, ref, n));
+  }
+  double max_d2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = norm2(pos[i] - ref[i]);
+    if (d2 > max_d2) max_d2 = d2;
+  }
+  return std::sqrt(max_d2);
 }
 
 // Kinetic energy of the first ncore particles (unit mass).  The per-

@@ -89,7 +89,13 @@ class SerialSim {
     const double max_v =
         kick_drift(store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
                    &counters_);
-    drift_ += max_v * cfg_.dt;
+    if (cfg_.drift_measured) {
+      drift_ = max_displacement<D>(store_.cpositions(),
+                                   std::span<const Vec<D>>(ref_pos_),
+                                   store_.size());
+    } else {
+      drift_ += max_v * cfg_.dt;
+    }
     ++counters_.iterations;
   }
 
@@ -147,6 +153,10 @@ class SerialSim {
     }
     record_link_stats(links_, counters_);
     refresh_id_index();
+    if (cfg_.drift_measured) {
+      const auto pos = store_.cpositions();
+      ref_pos_.assign(pos.begin(), pos.begin() + store_.size());
+    }
     drift_ = 0.0;
     ++counters_.rebuilds;
   }
@@ -240,6 +250,8 @@ class SerialSim {
   std::vector<std::int32_t> index_of_id_;
   double potential_ = 0.0;
   double drift_ = 0.0;
+  // Rebuild-time position snapshot for the measured-drift trigger.
+  std::vector<Vec<D>> ref_pos_;
   Counters counters_;
 };
 

@@ -15,6 +15,7 @@
 #include "core/link_list.hpp"
 #include "core/particle_store.hpp"
 #include "mp/indexed.hpp"
+#include "mp/shm.hpp"
 #include "util/vec.hpp"
 
 namespace hdem {
@@ -30,6 +31,12 @@ struct BlockDomain {
     mp::IndexedType send;     // local particle indices to send each iteration
     std::size_t recv_offset = 0;  // where received halo copies live in store
     std::size_t recv_count = 0;
+    // Shared-window halo path (null on the wire path): the window this
+    // side publishes for its same-node neighbour, and the neighbour's
+    // window this side gathers its halo from.  Resolved at every template
+    // rebuild; the pointed-to windows are owned by the World's registry.
+    mp::HaloWindow* pub = nullptr;
+    mp::HaloWindow* sub = nullptr;
   };
 
   int index = -1;                 // global block index

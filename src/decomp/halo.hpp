@@ -25,6 +25,16 @@
 // a dimension-d receive region — packing and delivery within one
 // dimension can interleave freely.  Core links only touch indices below
 // ncore, which is what makes the in-flight window safe for compute.
+//
+// With enable_shared_windows, edges between different ranks of the same
+// node (per the NodeMap) bypass the wire entirely: the owner publishes a
+// generation-fenced HaloWindow over its position array and the reader
+// gathers straight into its halo storage, applying the periodic shift at
+// read time (mp/shm.hpp).  The shift arithmetic per element is identical
+// to the pack-time shift, and the receive layout is untouched, so the
+// delivered halos — and hence trajectories — are bit-identical to the
+// wire path.  Inter-node edges and the template-construction exchange
+// keep the wire; same-rank edges keep the direct copy.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +48,9 @@
 #include "decomp/block.hpp"
 #include "decomp/layout.hpp"
 #include "mp/comm.hpp"
+#include "mp/nodemap.hpp"
+#include "mp/shm.hpp"
+#include "trace/tracer.hpp"
 #include "util/vec.hpp"
 
 namespace hdem {
@@ -52,6 +65,16 @@ class HaloExchanger {
   HaloExchanger(const DecompLayout<D>& layout, const Boundary<D>& bc,
                 double rc)
       : layout_(&layout), bc_(bc), rc_(rc) {}
+
+  // Switch same-node cross-rank edges to the zero-copy window path.  Must
+  // be called before build_templates; the node map decides, per edge,
+  // whether the neighbour rank shares this rank's memory.  Off by default
+  // so the exchanger is a pure wire engine unless a driver opts in.
+  void enable_shared_windows(const mp::NodeMap& nodes) {
+    node_map_ = nodes;
+    shared_ = true;
+  }
+  bool shared_windows() const { return shared_; }
 
   // Rebuild every block's halo templates and perform the initial exchange,
   // appending halo copies to each store.  Call after migration (and after
@@ -99,6 +122,10 @@ class HaloExchanger {
         }
       }
     }
+    // Descriptors capture raw position/index pointers, so they can only be
+    // published once every dimension's appends are done — push_back above
+    // and send.add in phase A both reallocate.
+    publish_windows(blocks, comm, counters);
   }
 
   // Refresh halo positions using the templates built at the last rebuild.
@@ -117,6 +144,7 @@ class HaloExchanger {
                   Counters& counters) {
     if (in_flight_) throw std::logic_error("begin_swap: swap already in flight");
     index_blocks(blocks);
+    ++swap_epoch_;
     post_dim(blocks, comm, counters, 0);
     in_flight_ = true;
   }
@@ -124,14 +152,16 @@ class HaloExchanger {
   // Phase 2: drain dimension 0's receives (the exposed wait, if any), then
   // sweep the remaining dimensions, which forward dimension-0 data into
   // the corner regions and so cannot begin until it has arrived.
+  // The caller may mutate positions freely afterwards: same-node readers
+  // copy from the windows' staged slices, never from the live arrays.
   void finish_swap(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
                    Counters& counters) {
     if (!in_flight_) throw std::logic_error("finish_swap: no swap in flight");
     in_flight_ = false;
-    complete_dim(comm);
+    complete_dim(blocks, comm, counters, 0);
     for (int d = 1; d < D; ++d) {
       post_dim(blocks, comm, counters, d);
-      complete_dim(comm);
+      complete_dim(blocks, comm, counters, d);
     }
   }
 
@@ -145,6 +175,8 @@ class HaloExchanger {
 
   void configure_side(const BlockDomain<D>& b, int d, int s,
                       typename BlockDomain<D>::HaloSide& side) const {
+    side.pub = nullptr;  // publish_windows re-resolves at the end of the build
+    side.sub = nullptr;
     side.nb_block = layout_->neighbor_block(b.coords, d, s, bc_.periodic());
     if (side.nb_block < 0) {
       side.nb_rank = -1;
@@ -172,18 +204,35 @@ class HaloExchanger {
     }
   }
 
-  // Post one dimension's exchange: receives first (straight into halo
-  // storage), then pack and send every side.  Same-rank payloads are
-  // copied across immediately — their destination regions belong to this
-  // dimension, which no dimension-d send template can index.
+  // Post one dimension's exchange: window slices staged and published
+  // first (same-node readers can start copying while we pack the wire
+  // sides), then receives (straight into halo storage), then pack and
+  // send every wire side.  Same-rank payloads are copied across
+  // immediately — their destination regions belong to this dimension,
+  // which no dimension-d send template can index; the same invariant is
+  // what makes the early stage safe, since it only reads pre-dim-d data.
   void post_dim(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
                 Counters& counters, int d) {
     reqs_.clear();
     expected_bytes_.clear();
+    if (shared_) {
+      for (auto& b : blocks) {
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          if (side.pub != nullptr) {
+            stage_window(b, side);
+            side.pub->advance(side.pub->gen, swap_epoch_);
+          }
+        }
+      }
+    }
     for (auto& b : blocks) {
       for (int s = 0; s < 2; ++s) {
         auto& side = b.halo[d][s];
-        if (side.nb_block < 0 || side.nb_rank == comm.rank()) continue;
+        if (side.nb_block < 0 || side.nb_rank == comm.rank() ||
+            side.sub != nullptr) {
+          continue;
+        }
         auto dest = b.store.positions().subspan(side.recv_offset,
                                                 side.recv_count);
         reqs_.push_back(comm.template irecv<Vec<D>>(
@@ -194,7 +243,7 @@ class HaloExchanger {
     for (auto& b : blocks) {
       for (int s = 0; s < 2; ++s) {
         auto& side = b.halo[d][s];
-        if (side.nb_block < 0) continue;
+        if (side.nb_block < 0 || side.pub != nullptr) continue;
         pack_side(b, d, side);
         const int dest_side = 1 - s;
         if (side.nb_rank == comm.rank()) {
@@ -217,10 +266,31 @@ class HaloExchanger {
     }
   }
 
-  // Complete the posted dimension: wait on every receive (tallying
-  // overlapped vs exposed bytes inside the communicator) and verify the
-  // neighbour still sends the template-sized payload.
-  void complete_dim(mp::Comm& comm) {
+  // Complete the posted dimension: gather the shared-window sides (their
+  // owners published this dimension's generation at the top of their
+  // post_dim, so the spin is short), then wait on every wire receive
+  // (tallying overlapped vs exposed bytes inside the communicator) and
+  // verify the neighbour still sends the template-sized payload.
+  void complete_dim(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                    Counters& counters, int d) {
+    if (shared_) {
+      bool any = false;
+      for (const auto& b : blocks) {
+        for (int s = 0; s < 2 && !any; ++s) {
+          any = b.halo[d][s].sub != nullptr;
+        }
+        if (any) break;
+      }
+      if (any) {
+        trace::Scope scope(trace::Phase::kHaloShared, comm.rank());
+        for (auto& b : blocks) {
+          for (int s = 0; s < 2; ++s) {
+            auto& side = b.halo[d][s];
+            if (side.sub != nullptr) gather_window(b, side, counters);
+          }
+        }
+      }
+    }
     comm.wait_all(reqs_);
     for (std::size_t i = 0; i < reqs_.size(); ++i) {
       if (reqs_[i].bytes() != expected_bytes_[i]) {
@@ -229,6 +299,93 @@ class HaloExchanger {
     }
     reqs_.clear();
     expected_bytes_.clear();
+  }
+
+  // Stage one published side: gather the send template's positions into
+  // the window's buffer, unshifted.  The buffer for the previous epoch
+  // may be overwritten only once its reader acknowledged it — one full
+  // step of slack, so the wait is satisfied in steady state and ranks
+  // stay as decoupled as the wire path's buffered sends keep them.
+  void stage_window(const BlockDomain<D>& b,
+                    typename BlockDomain<D>::HaloSide& side) {
+    mp::HaloWindow* w = side.pub;
+    w->wait_ge(w->ack, swap_epoch_ - 1);
+    auto* dst = reinterpret_cast<Vec<D>*>(w->stage.data());
+    side.send.pack(b.store.cpositions(),
+                   std::span<Vec<D>>(dst, side.send.count()));
+  }
+
+  // Read one shared-window side: wait for the owner's generation fence,
+  // copy the staged slice into this block's halo region (shift applied
+  // at read time — the identical one-component add the owner would have
+  // applied at pack time), then acknowledge so the owner may restage
+  // the buffer next epoch.
+  void gather_window(BlockDomain<D>& b,
+                     typename BlockDomain<D>::HaloSide& side,
+                     Counters& counters) {
+    mp::HaloWindow* w = side.sub;
+    w->wait_ge(w->gen, swap_epoch_);
+    if (w->count != side.recv_count) {
+      throw std::logic_error("halo swap: halo count changed");
+    }
+    const auto* src = reinterpret_cast<const Vec<D>*>(w->stage.data());
+    auto dest = b.store.positions().subspan(side.recv_offset,
+                                            side.recv_count);
+    const double shift = w->shift;
+    const int sd = w->dim;
+    if (shift != 0.0) {
+      for (std::size_t i = 0; i < side.recv_count; ++i) {
+        Vec<D> x = src[i];
+        x[sd] += shift;
+        dest[i] = x;
+      }
+    } else {
+      for (std::size_t i = 0; i < side.recv_count; ++i) {
+        dest[i] = src[i];
+      }
+    }
+    w->advance(w->ack, swap_epoch_);
+    ++counters.msgs_shared;
+    counters.bytes_shared += side.recv_count * sizeof(Vec<D>);
+  }
+
+  // Resolve and fill the window descriptors for every same-node cross-rank
+  // edge.  Runs once per rebuild, after all templates and halo appends are
+  // final.  Before any descriptor or staging buffer is rewritten, every
+  // window this rank published last time must be acknowledged through the
+  // last epoch — readers of the old slices are then quiescent, so the
+  // rewrites (and the ack bump that arms a fresh window's one-epoch
+  // slack) race with nothing.
+  void publish_windows(std::vector<BlockDomain<D>>& blocks, mp::Comm& comm,
+                       Counters& counters) {
+    if (!shared_) return;
+    registry_ = &comm.windows();
+    for (auto* w : published_) w->wait_ge(w->ack, swap_epoch_);
+    published_.clear();
+    for (auto& b : blocks) {
+      for (int d = 0; d < D; ++d) {
+        for (int s = 0; s < 2; ++s) {
+          auto& side = b.halo[d][s];
+          if (side.nb_block < 0 || side.nb_rank == comm.rank() ||
+              !node_map_.same_node(side.nb_rank, comm.rank())) {
+            continue;
+          }
+          const int dest_side = 1 - s;
+          auto& w = comm.windows().window(
+              comm.rank(), halo_tag(side.nb_block, d, dest_side));
+          w.stage.resize(side.send.count() * sizeof(Vec<D>));
+          w.count = side.send.count();
+          w.shift = side.shift;
+          w.dim = d;
+          w.ack.store(swap_epoch_, std::memory_order_release);
+          side.pub = &w;
+          published_.push_back(&w);
+          side.sub = &comm.windows().window(side.nb_rank,
+                                            halo_tag(b.index, d, s));
+          ++counters.window_republishes;
+        }
+      }
+    }
   }
 
   // Pack side.send (applying the shift) and hand the payload to the
@@ -242,7 +399,8 @@ class HaloExchanger {
     if (side.nb_rank == comm.rank()) {
       ++counters.msgs_local;
       counters.bytes_local += pack_scratch_.size() * sizeof(Vec<D>);
-      local_payloads_[key(side.nb_block, d, dest_side)] = pack_scratch_;
+      local_payloads_[key(side.nb_block, d, dest_side)] =
+          std::move(pack_scratch_);  // pack_side resizes before each reuse
     } else {
       comm.send(side.nb_rank, halo_tag(side.nb_block, d, dest_side),
                 std::span<const Vec<D>>(pack_scratch_));
@@ -274,6 +432,14 @@ class HaloExchanger {
   const DecompLayout<D>* layout_;
   Boundary<D> bc_;
   double rc_;
+  // Shared-window state: epochs advance once per begin_swap on every rank
+  // in lockstep (swap counts are collective decisions), so a reader's
+  // swap_epoch_ equals the owner's when it gathers.
+  bool shared_ = false;
+  mp::NodeMap node_map_;
+  mp::WindowRegistry* registry_ = nullptr;  // resolved at publish_windows
+  std::vector<mp::HaloWindow*> published_;  // our windows, for rebuild fences
+  std::uint64_t swap_epoch_ = 0;
   std::unordered_map<int, std::size_t> local_of_;
   std::unordered_map<std::uint64_t, std::vector<Vec<D>>> local_payloads_;
   // Swap-phase state, reused across iterations (no per-message allocation

@@ -37,6 +37,7 @@
 #include "decomp/migrate.hpp"
 #include "decomp/rebalance.hpp"
 #include "mp/comm.hpp"
+#include "mp/nodemap.hpp"
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
 #include "trace/tracer.hpp"
@@ -78,6 +79,15 @@ class MpSim {
     // are unaffected (per-block physics is ownership-independent).
     bool rebalance = false;
     double rebalance_threshold = 1.15;
+    // Zero-copy intra-node halo exchange: edges between ranks of the same
+    // node (ranks_per_node consecutive ranks per node; 0 = every rank on
+    // one node) gather halo positions straight out of the neighbour's
+    // position array through generation-fenced shared windows instead of
+    // messages.  Trajectories are bit-identical to the wire path.  The
+    // defaults read HDEM_SHARED_HALO / HDEM_RANKS_PER_NODE so whole test
+    // suites can run under a different halo transport unmodified.
+    bool shared_halo = mp::shared_halo_env_default();
+    int ranks_per_node = mp::ranks_per_node_env_default();
   };
 
   MpSim(const SimConfig<D>& cfg, const DecompLayout<D>& layout,
@@ -124,6 +134,9 @@ class MpSim {
     }
     if (opts_.nthreads > 1) {
       team_ = std::make_unique<smp::ThreadTeam>(opts_.nthreads);
+    }
+    if (opts_.shared_halo) {
+      halo_.enable_shared_windows(mp::NodeMap(opts_.ranks_per_node));
     }
 
     // Instantiate this rank's blocks and adopt its share of the global
@@ -212,8 +225,7 @@ class MpSim {
         max_v = fused_update_positions();
       }
       trace::Scope scope(trace::Phase::kCollective, comm_->rank());
-      const double gmax_f = comm_->allreduce(max_v, mp::Op::kMax);
-      drift_ += gmax_f * cfg_.dt;
+      advance_drift(max_v);
       ++counters_.iterations;
       return;
     }
@@ -306,11 +318,10 @@ class MpSim {
     }
 
     // The rebuild criterion must be a global decision: take the worldwide
-    // maximum speed (also how the paper's global quantities are formed —
-    // reduced per block, then across processes).
+    // maximum (also how the paper's global quantities are formed — reduced
+    // per block, then across processes).
     trace::Scope collective_scope(trace::Phase::kCollective, comm_->rank());
-    const double gmax = comm_->allreduce(max_v, mp::Op::kMax);
-    drift_ += gmax * cfg_.dt;
+    advance_drift(max_v);
     ++counters_.iterations;
   }
 
@@ -420,6 +431,15 @@ class MpSim {
       counters_.particles += b.ncore;
     }
     if (team_) prepare_team_accumulators();
+    if (cfg_.drift_measured) {
+      ref_pos_.resize(blocks_.size());
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        const auto pos = blocks_[k].store.cpositions();
+        ref_pos_[k].assign(pos.begin(),
+                           pos.begin() + static_cast<std::ptrdiff_t>(
+                                             blocks_[k].ncore));
+      }
+    }
     // Fresh cost window for the next rebuild interval (and the right size
     // after a block handoff).
     block_cost_ns_.assign(blocks_.size(), 0);
@@ -882,6 +902,26 @@ class MpSim {
     return comm_->allreduce(local, mp::Op::kSum);
   }
 
+  // Advance the rebuild criterion — one kMax allreduce per step either
+  // way.  The measured trigger reduces the true per-rank maximum core
+  // displacement since the last rebuild instead of accumulating the
+  // worldwide maximum speed times dt (its upper bound), so rebuilds can
+  // only become rarer.
+  void advance_drift(double max_v) {
+    if (cfg_.drift_measured) {
+      double local = 0.0;
+      for (std::size_t k = 0; k < blocks_.size(); ++k) {
+        const double d = max_displacement<D>(
+            blocks_[k].store.cpositions(),
+            std::span<const Vec<D>>(ref_pos_[k]), blocks_[k].ncore);
+        if (d > local) local = d;
+      }
+      drift_ = comm_->allreduce(local, mp::Op::kMax);
+    } else {
+      drift_ += comm_->allreduce(max_v, mp::Op::kMax) * cfg_.dt;
+    }
+  }
+
   SimConfig<D> cfg_;
   DecompLayout<D> layout_;
   mp::Comm* comm_;
@@ -916,6 +956,9 @@ class MpSim {
   // must see the same vector everywhere to adopt the same table); reset
   // at every rebuild.
   std::vector<std::uint64_t> block_cost_ns_;
+  // Per-block rebuild-time core-position snapshots for the measured-drift
+  // trigger.
+  std::vector<std::vector<Vec<D>>> ref_pos_;
   double potential_ = 0.0;
   double drift_ = 0.0;
   Counters counters_;

@@ -81,7 +81,13 @@ class SmpSim {
     const double max_v = smp_update_positions(
         team_, store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
         &counters_);
-    drift_ += max_v * cfg_.dt;
+    if (cfg_.drift_measured) {
+      drift_ = max_displacement<D>(store_.cpositions(),
+                                   std::span<const Vec<D>>(ref_pos_),
+                                   store_.size());
+    } else {
+      drift_ += max_v * cfg_.dt;
+    }
     ++counters_.iterations;
   }
 
@@ -136,6 +142,10 @@ class SmpSim {
       counters_.rebuild_linkgen_ns += elapsed_ns(t);
     }
     prepare_accumulator<D>(acc_, team_.size(), links_, store_.size());
+    if (cfg_.drift_measured) {
+      const auto pos = store_.cpositions();
+      ref_pos_.assign(pos.begin(), pos.begin() + store_.size());
+    }
     drift_ = 0.0;
     ++counters_.rebuilds;
   }
@@ -183,6 +193,8 @@ class SmpSim {
   FusedBuildScratch fused_scratch_;
   double potential_ = 0.0;
   double drift_ = 0.0;
+  // Rebuild-time position snapshot for the measured-drift trigger.
+  std::vector<Vec<D>> ref_pos_;
   Counters counters_;
 };
 

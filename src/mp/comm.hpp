@@ -247,6 +247,10 @@ class Comm {
   std::vector<std::vector<std::byte>> alltoall(
       std::vector<std::vector<std::byte>> send);
 
+  // ---- shared windows -------------------------------------------------------
+  // The world's shared halo windows (zero-copy intra-node halo path).
+  WindowRegistry& windows() { return world_->windows(); }
+
   // ---- accounting -----------------------------------------------------------
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }

@@ -1,0 +1,46 @@
+// Node topology: how ranks pack onto SMP nodes.
+//
+// The paper's hybrid analysis hinges on which rank pairs share a node's
+// memory system and which must cross the interconnect.  The in-process
+// runtime runs every rank inside one address space, so "node" is a model
+// parameter rather than a physical fact: a NodeMap assigns ranks to nodes
+// in contiguous groups of ranks_per_node (the same packing rule
+// CostModel::split_traffic applies to the traffic matrices), and the halo
+// exchanger consults it per edge to decide between the zero-copy
+// shared-window path (same node) and the wire path (different nodes).
+#pragma once
+
+#include <cstdlib>
+
+namespace hdem::mp {
+
+class NodeMap {
+ public:
+  // ranks_per_node <= 0 places every rank on one node (the physical truth
+  // of the in-process runtime, and the default of --ranks-per-node).
+  NodeMap() = default;
+  explicit NodeMap(int ranks_per_node) : rpn_(ranks_per_node) {}
+
+  int ranks_per_node() const { return rpn_; }
+  int node_of(int rank) const { return rpn_ <= 0 ? 0 : rank / rpn_; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+ private:
+  int rpn_ = 0;
+};
+
+// Environment defaults, so whole test suites can run under a different
+// halo transport without per-test plumbing (the CI ranks-per-node matrix):
+//   HDEM_SHARED_HALO=1     drivers default to the shared-window halo path
+//   HDEM_RANKS_PER_NODE=N  default node packing (0 = all ranks one node)
+inline bool shared_halo_env_default() {
+  const char* v = std::getenv("HDEM_SHARED_HALO");
+  return v != nullptr && v[0] == '1';
+}
+
+inline int ranks_per_node_env_default() {
+  const char* v = std::getenv("HDEM_RANKS_PER_NODE");
+  return v != nullptr ? std::atoi(v) : 0;
+}
+
+}  // namespace hdem::mp

@@ -1,0 +1,124 @@
+// Shared particle windows: mailbox-free halo delivery between same-node
+// ranks.
+//
+// Following the MPI-3 shared-memory hybrid model (Kopper et al.), a rank
+// that would send a halo payload to a neighbour on its own node instead
+// *publishes* the boundary-cell position slice through a window the
+// neighbour reads in place: at post time the owner gathers the slice
+// into the window's staging buffer (unshifted — the periodic shift is
+// applied at read time, with the identical arithmetic the wire path
+// uses at pack time, hence bit-identical halos), and the reader copies
+// it straight into its own halo storage.  Against the wire path this
+// deletes the buffered-send copy, the mailbox delivery, the per-message
+// allocation, the world-wide mailbox mutex, and the broadcast wakeup:
+// what remains is one gather and one placement copy linked by a
+// lock-free fence.
+//
+// The staging buffer — rather than a view of the owner's live position
+// array — is what keeps the transport *asynchronous*: a live view would
+// be a rendezvous (the reader may only gather while the owner holds its
+// positions still, so every epoch couples the pair's schedules, and the
+// owner cannot update positions until all readers have gathered).  The
+// published slice is immutable for a full step, so ranks may drift a
+// whole epoch apart exactly as they can under buffered sends — the
+// decoupling that makes eager messaging fast is kept, its copies and
+// locks are dropped.
+//
+// Synchronisation is a generation fence per window:
+//   gen  — the epoch whose slice is staged and readable.  The owner
+//          release-stores it after filling the staging buffer (for
+//          dimension d, after its own dimension-(d-1) receives, so
+//          forwarded corner data is included).
+//   ack  — the epoch the reader has finished copying.  The owner waits
+//          for ack >= e before restaging the buffer for epoch e+1 — one
+//          full step of slack, so the wait is satisfied in steady state
+//          — and for ack >= the last epoch before rewriting descriptors
+//          at a template rebuild.
+// Epochs advance in lockstep (every rank begins exactly one swap per
+// step; the rebuild decision is a global collective), so gen/ack never
+// need per-reader bookkeeping.  Descriptor fields are plain data: they
+// are rewritten only behind those ack waits, with no reader looking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hdem::mp {
+
+struct HaloWindow {
+  // Fence (see file comment for the protocol).
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<std::uint64_t> ack{0};
+  // Handoff for the two fence counters above.  Each window joins one
+  // producer and one consumer, so parking here is point-to-point: a
+  // notify wakes exactly the rank that needs this store, unlike the
+  // wire mailbox whose single world-wide condition variable wakes
+  // every blocked rank on every send.
+  std::mutex mu;
+  std::condition_variable cv;
+  // The published slice: `count` positions staged contiguously in
+  // `stage` (type-erased Vec<D> of the owner's store), refilled by the
+  // owner each epoch behind the ack fence.  `shift` is added to
+  // component `dim` of every copy by the reader.
+  std::vector<unsigned char> stage;
+  std::size_t count = 0;
+  double shift = 0.0;
+  int dim = 0;
+
+  void advance(std::atomic<std::uint64_t>& fence, std::uint64_t value) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fence.store(value, std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+
+  void wait_ge(const std::atomic<std::uint64_t>& fence,
+               std::uint64_t target) {
+    // Lockstep fast path: the partner is usually already past the
+    // store, so the acquire succeeds without touching the mutex.
+    for (int spins = 0; spins < 256; ++spins) {
+      if (fence.load(std::memory_order_acquire) >= target) return;
+    }
+    // Slow path: park until the producer's advance.  Sleeping (rather
+    // than yielding) matters on oversubscribed hosts — a yield loop
+    // can burn its whole scheduler slice before the rank whose store
+    // we need ever runs, and a blind timed nap adds its quantum to
+    // every edge of the dimension sweep.  The condition variable gives
+    // an exact wakeup at the moment the fence moves.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return fence.load(std::memory_order_acquire) >= target;
+    });
+  }
+};
+
+// All windows of one World, keyed by (owner rank, halo tag).  Entries are
+// pointer-stable (looked up once per template rebuild and cached in the
+// halo sides), created on first use by whichever side arrives first.  A
+// window orphaned by a rebalance simply stops advancing; both sides
+// re-resolve their pointers at the rebuild that changed the table.
+class WindowRegistry {
+ public:
+  HaloWindow& window(int owner, int tag) {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)) << 32) |
+        static_cast<std::uint32_t>(tag);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = map_[k];
+    if (!slot) slot = std::make_unique<HaloWindow>();
+    return *slot;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<HaloWindow>> map_;
+};
+
+}  // namespace hdem::mp

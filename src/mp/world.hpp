@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mp/shm.hpp"
+
 namespace hdem::mp {
 
 struct RawMessage {
@@ -103,8 +105,12 @@ class World {
   // Central counting barrier over all ranks.
   void barrier();
 
+  // Shared halo windows published by this world's ranks (mp/shm.hpp).
+  WindowRegistry& windows() { return windows_; }
+
  private:
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  WindowRegistry windows_;
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;

@@ -196,6 +196,17 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
                          static_cast<double>(run.iterations));
   out.comm += lmsgs * machine.lat_local +
               lbytes * saturation / std::max(machine.reduction_bw, 1.0);
+  // Shared-window halo gathers: never on the wire (absent from the traffic
+  // matrices), priced like the same-rank copies — a per-gather local
+  // latency plus bytes at node-memory speed under saturation.
+  const double smsgs =
+      static_cast<double>(run.agg.msgs_shared) * per_rank_iter_sync;
+  const double sbytes = static_cast<double>(run.agg.bytes_shared) *
+                        layout.comm_scale /
+                        (static_cast<double>(run.nprocs) *
+                         static_cast<double>(run.iterations));
+  out.comm += smsgs * machine.lat_local +
+              sbytes * saturation / std::max(machine.reduction_bw, 1.0);
   // Amortised list-rebuild cost.  agg.rebuilds is a per-rank count (it
   // merges by max), so rebuilds / iterations is the drift-driven rebuild
   // frequency; steady-state measurement windows that exclude rebuilds

@@ -47,6 +47,10 @@ struct MeasureSpec {
   // Cost-driven adaptive block remapping at list rebuilds (mp/hybrid).
   bool rebalance = false;
   double rebalance_threshold = 1.15;
+  // Zero-copy intra-node halo windows (mp/hybrid); ranks_per_node sets the
+  // node granularity (0 = every rank on one node).
+  bool shared_halo = false;
+  int ranks_per_node = 0;
   // < 1 confines all particles to the bottom fraction of the box (the
   // clustered, load-imbalanced workload class the paper targets).
   double cluster_fraction = 1.0;
@@ -148,6 +152,8 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       opts.steal = spec.steal;
       opts.rebalance = spec.rebalance;
       opts.rebalance_threshold = spec.rebalance_threshold;
+      opts.shared_halo = spec.shared_halo;
+      opts.ranks_per_node = spec.ranks_per_node;
       mp::run(p, [&](mp::Comm& comm) {
         MpSim<D> sim(cfg, layout, comm, model, init, opts);
         for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();

@@ -31,6 +31,7 @@ const char* to_string(Phase p) {
     case Phase::kCollective: return "collective";
     case Phase::kIteration: return "iteration";
     case Phase::kRebalance: return "rebalance";
+    case Phase::kHaloShared: return "halo-shared";
   }
   return "?";
 }

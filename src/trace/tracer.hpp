@@ -35,10 +35,11 @@ enum class Phase : std::uint8_t {
   kCollective,   // reductions / gathers
   kIteration,    // one whole step (outer bracket)
   kRebalance,    // cost exchange + repartition + block handoff at rebuild
+  kHaloShared,   // shared-window halo gathers (zero-copy intra-node path)
 };
 
 const char* to_string(Phase p);
-inline constexpr int kPhaseCount = 14;
+inline constexpr int kPhaseCount = 15;
 
 struct Event {
   Phase phase;

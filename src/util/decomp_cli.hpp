@@ -5,6 +5,9 @@
 //   --rebalance                adaptive cost-driven block remapping
 //   --rebalance-threshold=1.15 max/mean rank-load ratio that triggers it
 //   --steal                    deterministic work stealing (colored only)
+//   --shared-halo              zero-copy intra-node halo windows
+//   --ranks-per-node=N         node granularity for the shared path
+//                              (0 = every rank on one node)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,8 @@ struct DecompCliOptions {
   bool rebalance = false;
   double rebalance_threshold = 1.15;
   bool steal = false;
+  bool shared_halo = false;
+  std::int64_t ranks_per_node = 0;
 
   // Convenience for tools that take a single granularity, not a sweep.
   std::int64_t bpp() const {
@@ -43,6 +48,14 @@ inline DecompCliOptions declare_decomp_options(
       "steal",
       "deterministic work stealing over color-plan chunks (colored "
       "reduction only)");
+  o.shared_halo = cli.flag(
+      "shared-halo",
+      "exchange intra-node halos through zero-copy shared particle windows "
+      "instead of messages (bit-identical trajectories)");
+  o.ranks_per_node = cli.integer(
+      "ranks-per-node", 0,
+      "ranks per SMP node for the shared halo path — consecutive rank "
+      "blocks share a node (0 = every rank on one node)");
   return o;
 }
 
