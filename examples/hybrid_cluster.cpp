@@ -7,7 +7,7 @@
 // paper's Compaq ES40 cluster.
 //
 //   ./hybrid_cluster [--n=8000] [--steps=60] [--blocks-per-proc=4]
-//                    [--rebalance] [--steal]
+//                    [--rebalance] [--steal] [--skin=0.3]
 #include <cstdio>
 #include <map>
 
@@ -15,8 +15,10 @@
 #include "driver/mp_sim.hpp"
 #include "driver/smp_sim.hpp"
 #include "perf/machine.hpp"
+#include "perf/report.hpp"
 #include "util/cli.hpp"
 #include "util/decomp_cli.hpp"
+#include "util/skin_cli.hpp"
 
 using namespace hdem;
 
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   const auto steps =
       static_cast<std::uint64_t>(cli.integer("steps", 60, "iterations"));
   const auto decomp = declare_decomp_options(cli, {4});
+  const auto skin = declare_skin_options(cli);
   if (cli.finish()) return 0;
   // Stealing rides the colored reduction; the atomic-family default stays
   // for the plain run so the locked-update column remains meaningful.
@@ -37,12 +40,17 @@ int main(int argc, char** argv) {
   SimConfig<2> cfg;
   cfg.box = Vec<2>(SimConfig<2>::paper_box_edge(n));
   cfg.seed = 99;
+  cfg.skin_factor = skin.skin;
+  cfg.skin_cap_factor = skin.skin_cap;
   const ElasticSphere model{cfg.stiffness, cfg.diameter};
   const auto init = uniform_random_particles(cfg, n);
 
   // --- serial reference ------------------------------------------------
   SerialSim<2> serial(cfg, model, init);
   serial.run(steps);
+  std::printf("list reuse (serial): %s\n",
+              perf::reuse_line(perf::reuse_summary(serial.counters()))
+                  .c_str());
   std::map<int, Vec<2>> ref;
   for (std::size_t i = 0; i < serial.store().size(); ++i) {
     Vec<2> p = serial.store().pos(i);

@@ -35,23 +35,55 @@ struct SimConfig {
   // max-speed bound max_v*dt.  Measured drift is never larger than the
   // accumulated bound, so rebuilds can only become rarer.
   bool drift_measured = true;
+  // Verlet skin: candidate links are generated out to rc + skin and the
+  // list survives until accumulated motion can close the widened gap.  The
+  // skin only changes *when* lists rebuild — candidate sets are supersets
+  // and the pair kernel distance-gates, so extra links are exact no-ops.
+  double skin_factor = 0.0;        // skin / rc; 0 = classic rebuild-per-drift
+  // Binning capacity: cells are sized for rc * (1 + skin_cap_factor) so a
+  // one-cell stencil still covers rc + skin.  Defaults (< 0) to following
+  // skin_factor.  Pinning it across runs with different skins keeps the
+  // cell geometry — and hence the reorder permutation and link traversal
+  // order — identical, which is what makes trajectories bit-identical
+  // across skin values (DESIGN §3.7).
+  double skin_cap_factor = -1.0;   // < 0: use skin_factor
   std::uint64_t seed = 12345;      // RNG seed for initial conditions
 
   double rmax() const { return diameter; }
   double cutoff() const { return cutoff_factor * diameter; }
+  double skin() const { return skin_factor * cutoff(); }
+  // Candidate links are generated out to this radius.
+  double list_radius() const { return cutoff() + skin(); }
+  // Cells (and halo regions) are sized for this radius, >= list_radius().
+  double binning_radius() const {
+    const double cap = skin_cap_factor < 0.0 ? skin_factor : skin_cap_factor;
+    return cutoff() * (1.0 + cap);
+  }
 
   // Maximum accumulated one-particle drift before the link list may miss a
   // pair entering interaction range: two particles can close the gap from
-  // both sides, hence the factor 1/2.
-  double drift_allowance() const { return 0.5 * (cutoff() - rmax()); }
+  // both sides, hence the factor 1/2.  The skin widens today's sliver
+  // 0.5*(rc - rmax) by 0.5*skin.
+  double drift_allowance() const { return 0.5 * (list_radius() - rmax()); }
 
   void validate() const {
     if (cutoff_factor <= 1.0) {
       throw std::invalid_argument("cutoff_factor must exceed 1 (rc > rmax)");
     }
+    if (skin_factor < 0.0) {
+      throw std::invalid_argument(
+          "skin_factor must be non-negative (a negative skin would shrink "
+          "the drift allowance below the safe sliver)");
+    }
+    if (skin_cap_factor >= 0.0 && skin_cap_factor < skin_factor) {
+      throw std::invalid_argument(
+          "skin_cap_factor must be >= skin_factor: the one-cell stencil "
+          "only reaches binning_radius()");
+    }
     for (int d = 0; d < D; ++d) {
-      if (box[d] < 3.0 * cutoff()) {
-        throw std::invalid_argument("box too small relative to cutoff");
+      if (box[d] < 3.0 * binning_radius()) {
+        throw std::invalid_argument(
+            "box too small relative to widened binning radius rc + skin");
       }
     }
     if (dt <= 0.0 || diameter <= 0.0 || stiffness < 0.0) {

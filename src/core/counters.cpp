@@ -8,6 +8,17 @@ namespace hdem {
 Counters& Counters::merge(const Counters& o) {
   iterations = iterations > o.iterations ? iterations : o.iterations;
   rebuilds = rebuilds > o.rebuilds ? rebuilds : o.rebuilds;
+  // Reuse decisions are global (every rank skips the same steps), so they
+  // merge like rebuilds rather than adding across ranks.
+  rebuilds_skipped =
+      rebuilds_skipped > o.rebuilds_skipped ? rebuilds_skipped
+                                            : o.rebuilds_skipped;
+  migrations_skipped =
+      migrations_skipped > o.migrations_skipped ? migrations_skipped
+                                                : o.migrations_skipped;
+  halo_rebuilds_skipped = halo_rebuilds_skipped > o.halo_rebuilds_skipped
+                              ? halo_rebuilds_skipped
+                              : o.halo_rebuilds_skipped;
   reorders = reorders > o.reorders ? reorders : o.reorders;
   particles += o.particles;
   halo_particles += o.halo_particles;
@@ -116,6 +127,10 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   Counters d = after;  // current fields + locality stay at "after" values
   d.iterations = after.iterations - before.iterations;
   d.rebuilds = after.rebuilds - before.rebuilds;
+  d.rebuilds_skipped = after.rebuilds_skipped - before.rebuilds_skipped;
+  d.migrations_skipped = after.migrations_skipped - before.migrations_skipped;
+  d.halo_rebuilds_skipped =
+      after.halo_rebuilds_skipped - before.halo_rebuilds_skipped;
   d.reorders = after.reorders - before.reorders;
   d.force_evals = after.force_evals - before.force_evals;
   d.contacts = after.contacts - before.contacts;
@@ -178,6 +193,9 @@ std::string Counters::summary() const {
   std::ostringstream os;
   os << "iterations=" << iterations << " rebuilds=" << rebuilds
      << " reorders=" << reorders << "\n"
+     << "reuse: rebuilds_skipped=" << rebuilds_skipped
+     << " migrations_skipped=" << migrations_skipped
+     << " halo_rebuilds_skipped=" << halo_rebuilds_skipped << "\n"
      << "particles=" << particles << " halo=" << halo_particles
      << " blocks=" << blocks << "\n"
      << "links core=" << links_core << " halo=" << links_halo

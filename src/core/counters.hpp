@@ -18,6 +18,13 @@ struct Counters {
   // -- simulation structure -------------------------------------------------
   std::uint64_t iterations = 0;        // force+update steps performed
   std::uint64_t rebuilds = 0;          // link-list reconstructions
+  // Verlet-skin amortization: steps that reused a still-valid candidate
+  // list instead of rebuilding (serial/smp/mp), and on the mp path the
+  // migration checks and halo-template refreshes (with their shared-window
+  // republications) those reused steps avoided.
+  std::uint64_t rebuilds_skipped = 0;  // steps served by a reused list
+  std::uint64_t migrations_skipped = 0;   // migration checks skipped (mp)
+  std::uint64_t halo_rebuilds_skipped = 0;// template refreshes skipped (mp)
   std::uint64_t reorders = 0;          // cell-order particle permutations
   std::uint64_t particles = 0;         // core particles owned (current)
   std::uint64_t halo_particles = 0;    // halo copies held (current)

@@ -253,6 +253,42 @@ double max_displacement(std::span<const Vec<D>> pos,
   return std::sqrt(max_d2);
 }
 
+// Accumulated-motion tracker shared by all three drivers: decides when the
+// candidate link list (built out to rc + skin) must be rebuilt.  In
+// measured mode the caller supplies the exact maximum displacement since
+// the last rebuild (serial/smp: one max_displacement() pass; mp: per-block
+// passes reduced with a kMax allreduce); otherwise the conservative
+// max_v*dt bound accumulates.  The list stays valid while twice the
+// tracked drift cannot close the widened gap rc + skin - rmax — the one
+// place the skin policy lives (DESIGN §3.7).
+class DriftTracker {
+ public:
+  DriftTracker() = default;
+  DriftTracker(bool measured, double dt) : measured_(measured), dt_(dt) {}
+
+  // Per-step advance: max_v is the kick-drift max speed; measure() must
+  // return the exact max displacement against the rebuild-time reference
+  // and is only invoked in measured mode.
+  template <class MeasureFn>
+  void advance(double max_v, MeasureFn&& measure) {
+    if (measured_) {
+      drift_ = measure();
+    } else {
+      drift_ += max_v * dt_;
+    }
+  }
+
+  bool valid(double allowance) const { return drift_ < allowance; }
+  double drift() const { return drift_; }
+  bool measured() const { return measured_; }
+  void reset() { drift_ = 0.0; }
+
+ private:
+  bool measured_ = true;
+  double dt_ = 0.0;
+  double drift_ = 0.0;
+};
+
 // Kinetic energy of the first ncore particles (unit mass).  The per-
 // particle 0.5*|v|^2 lanes are vectorized; the accumulation stays scalar
 // in particle order so the result is bit-identical at every width.

@@ -73,7 +73,11 @@ class SerialSim {
   // One force + position-update step, rebuilding the link list first if it
   // is no longer valid.
   void step() {
-    if (!list_valid()) rebuild();
+    if (!list_valid()) {
+      rebuild();
+    } else if (counters_.iterations > 0) {
+      ++counters_.rebuilds_skipped;
+    }
     trace::Scope iteration(trace::Phase::kIteration);
     zero_forces(store_);
     // PairDisp (not an opaque lambda) lets the batched kernel run its
@@ -89,13 +93,11 @@ class SerialSim {
     const double max_v =
         kick_drift(store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
                    &counters_);
-    if (cfg_.drift_measured) {
-      drift_ = max_displacement<D>(store_.cpositions(),
-                                   std::span<const Vec<D>>(ref_pos_),
-                                   store_.size());
-    } else {
-      drift_ += max_v * cfg_.dt;
-    }
+    drift_.advance(max_v, [&] {
+      return max_displacement<D>(store_.cpositions(),
+                                 std::span<const Vec<D>>(ref_pos_),
+                                 store_.size());
+    });
     ++counters_.iterations;
   }
 
@@ -103,7 +105,7 @@ class SerialSim {
     for (std::uint64_t i = 0; i < iterations; ++i) step();
   }
 
-  bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
+  bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }
 
   // Rebuild the link list: wrap positions, bin into cells, optionally
   // reorder particles into cell order, regenerate links.
@@ -114,7 +116,9 @@ class SerialSim {
       Timer t;
       auto pos = store_.positions();
       for (auto& x : pos) boundary_.wrap(x);
-      grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
+      // Cells are sized for binning_radius() >= list_radius() so the
+      // one-cell stencil still covers rc + skin.
+      grid_.configure(Vec<D>{}, cfg_.box, cfg_.binning_radius(), wrap_flags());
       grid_.bin(store_.positions(), store_.size());
       counters_.rebuild_bin_ns += elapsed_ns(t);
     }
@@ -138,8 +142,8 @@ class SerialSim {
       links_.clear();
       links_.halo_scratch.clear();
       build_links_range(grid_, store_.cpositions(), store_.size(),
-                        cfg_.cutoff(), disp, 0, grid_.ncells(), links_.links,
-                        links_.halo_scratch);
+                        cfg_.list_radius(), disp, 0, grid_.ncells(),
+                        links_.links, links_.halo_scratch);
       links_.n_core = links_.links.size();
       links_.links.insert(links_.links.end(), links_.halo_scratch.begin(),
                           links_.halo_scratch.end());
@@ -157,7 +161,7 @@ class SerialSim {
       const auto pos = store_.cpositions();
       ref_pos_.assign(pos.begin(), pos.begin() + store_.size());
     }
-    drift_ = 0.0;
+    drift_.reset();
     ++counters_.rebuilds;
   }
 
@@ -249,7 +253,7 @@ class SerialSim {
   std::vector<std::int32_t> inverse_perm_;
   std::vector<std::int32_t> index_of_id_;
   double potential_ = 0.0;
-  double drift_ = 0.0;
+  DriftTracker drift_{cfg_.drift_measured, cfg_.dt};
   // Rebuild-time position snapshot for the measured-drift trigger.
   std::vector<Vec<D>> ref_pos_;
   Counters counters_;

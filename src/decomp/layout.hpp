@@ -193,9 +193,11 @@ class DecompLayout {
   void validate(const SimConfig<D>& cfg) const {
     const Vec<D> w = block_width(cfg.box);
     for (int d = 0; d < D; ++d) {
-      if (w[d] < cfg.cutoff()) {
+      // Halo regions span list_radius() = rc + skin, so the one-neighbour
+      // exchange needs every block at least that wide.
+      if (w[d] < cfg.list_radius()) {
         throw std::invalid_argument(
-            "DecompLayout: block narrower than the cutoff");
+            "DecompLayout: block narrower than the widened cutoff rc + skin");
       }
     }
   }

@@ -101,8 +101,10 @@ class MpSim {
         boundary_(cfg.bc, cfg.box),
         // The exchanger aliases this driver's layout_ (declared before
         // halo_), so rebalancer edits to the assignment table are visible
-        // at the next template rebuild.
-        halo_(layout_, boundary_, cfg.cutoff()),
+        // at the next template rebuild.  Templates are built at the
+        // widened width rc + skin: the extra ring of copies is what lets
+        // one template survive every step of a list-reuse interval.
+        halo_(layout_, boundary_, cfg.list_radius()),
         opts_(opts) {
     cfg_.validate();
     layout_.validate(cfg_);
@@ -141,7 +143,6 @@ class MpSim {
 
     // Instantiate this rank's blocks and adopt its share of the global
     // initial condition (every rank scans the same deterministic list).
-    const Vec<D> rc_vec(cfg_.cutoff());
     for (const auto& coords : layout_.blocks_of_rank(comm.rank())) {
       BlockDomain<D> b;
       b.coords = coords;
@@ -171,7 +172,18 @@ class MpSim {
   bool hybrid() const { return team_ != nullptr; }
 
   void step() {
-    if (!list_valid()) rebuild();
+    if (!list_valid()) {
+      rebuild();
+    } else if (counters_.iterations > 0) {
+      // A reused list skips the whole rebuild pipeline: no migration
+      // check, no halo-template refresh (and hence no shared-window
+      // republication), no link regeneration.  The per-step halo swap
+      // still runs — positions change every step — but against the
+      // templates built at the widened width.
+      ++counters_.rebuilds_skipped;
+      ++counters_.migrations_skipped;
+      ++counters_.halo_rebuilds_skipped;
+    }
     trace::Scope iteration(trace::Phase::kIteration, comm_->rank());
     {
       trace::Scope scope(trace::Phase::kHaloSwap, comm_->rank());
@@ -329,7 +341,7 @@ class MpSim {
     for (std::uint64_t i = 0; i < iterations; ++i) step();
   }
 
-  bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
+  bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }
 
   void rebuild() {
     for (auto& b : blocks_) b.store.truncate(b.ncore);
@@ -343,7 +355,10 @@ class MpSim {
       migrate_particles(blocks_, layout_, boundary_, *comm_, counters_);
     }
 
-    const Vec<D> rc_vec(cfg_.cutoff());
+    // Cells (and the halo margin around the block) are sized for
+    // binning_radius() >= rc + skin so the one-cell stencil still covers
+    // the widened candidate radius.
+    const Vec<D> margin_vec(cfg_.binning_radius());
     {
       // Core-only binning for the reorder permutation and halo templates.
       // The hybrid scheme runs the whole pipeline on the team; the pure
@@ -351,8 +366,8 @@ class MpSim {
       trace::Scope scope(trace::Phase::kBin, comm_->rank());
       Timer t;
       for (auto& b : blocks_) {
-        b.grid.configure(b.lo - rc_vec, b.hi + rc_vec, cfg_.cutoff(),
-                         no_wrap());
+        b.grid.configure(b.lo - margin_vec, b.hi + margin_vec,
+                         cfg_.binning_radius(), no_wrap());
         if (team_) {
           b.grid.bin_parallel(b.store.cpositions(), b.ncore, *team_);
         } else {
@@ -404,7 +419,8 @@ class MpSim {
         trace::Scope scope(trace::Phase::kLinkGen, comm_->rank());
         Timer t;
         build_links_fused(b.links, b.grid, b.store.cpositions(), b.ncore,
-                          cfg_.cutoff(), disp, *team_, fused_link_scratch_);
+                          cfg_.list_radius(), disp, *team_,
+                          fused_link_scratch_);
         counters_.rebuild_linkgen_ns += elapsed_ns(t);
       } else {
         {
@@ -413,7 +429,7 @@ class MpSim {
           b.links.clear();
           b.links.halo_scratch.clear();
           build_links_range(b.grid, b.store.cpositions(), b.ncore,
-                            cfg_.cutoff(), disp, 0, b.grid.ncells(),
+                            cfg_.list_radius(), disp, 0, b.grid.ncells(),
                             b.links.links, b.links.halo_scratch);
           b.links.n_core = b.links.links.size();
           b.links.links.insert(b.links.links.end(),
@@ -443,7 +459,7 @@ class MpSim {
     // Fresh cost window for the next rebuild interval (and the right size
     // after a block handoff).
     block_cost_ns_.assign(blocks_.size(), 0);
-    drift_ = 0.0;
+    drift_.reset();
     ++counters_.rebuilds;
   }
 
@@ -908,7 +924,8 @@ class MpSim {
   // worldwide maximum speed times dt (its upper bound), so rebuilds can
   // only become rarer.
   void advance_drift(double max_v) {
-    if (cfg_.drift_measured) {
+    if (!cfg_.drift_measured) max_v = comm_->allreduce(max_v, mp::Op::kMax);
+    drift_.advance(max_v, [&] {
       double local = 0.0;
       for (std::size_t k = 0; k < blocks_.size(); ++k) {
         const double d = max_displacement<D>(
@@ -916,10 +933,8 @@ class MpSim {
             std::span<const Vec<D>>(ref_pos_[k]), blocks_[k].ncore);
         if (d > local) local = d;
       }
-      drift_ = comm_->allreduce(local, mp::Op::kMax);
-    } else {
-      drift_ += comm_->allreduce(max_v, mp::Op::kMax) * cfg_.dt;
-    }
+      return comm_->allreduce(local, mp::Op::kMax);
+    });
   }
 
   SimConfig<D> cfg_;
@@ -960,7 +975,7 @@ class MpSim {
   // trigger.
   std::vector<std::vector<Vec<D>>> ref_pos_;
   double potential_ = 0.0;
-  double drift_ = 0.0;
+  DriftTracker drift_{cfg_.drift_measured, cfg_.dt};
   Counters counters_;
 };
 

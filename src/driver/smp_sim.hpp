@@ -72,7 +72,11 @@ class SmpSim {
   }
 
   void step() {
-    if (!list_valid()) rebuild();
+    if (!list_valid()) {
+      rebuild();
+    } else if (counters_.iterations > 0) {
+      ++counters_.rebuilds_skipped;
+    }
     // PairDisp (not an opaque lambda) lets the batched kernel run its
     // vector gather phase.
     const PairDisp<D> disp = boundary_.pair_disp();
@@ -81,13 +85,11 @@ class SmpSim {
     const double max_v = smp_update_positions(
         team_, store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
         &counters_);
-    if (cfg_.drift_measured) {
-      drift_ = max_displacement<D>(store_.cpositions(),
-                                   std::span<const Vec<D>>(ref_pos_),
-                                   store_.size());
-    } else {
-      drift_ += max_v * cfg_.dt;
-    }
+    drift_.advance(max_v, [&] {
+      return max_displacement<D>(store_.cpositions(),
+                                 std::span<const Vec<D>>(ref_pos_),
+                                 store_.size());
+    });
     ++counters_.iterations;
   }
 
@@ -95,7 +97,7 @@ class SmpSim {
     for (std::uint64_t i = 0; i < iterations; ++i) step();
   }
 
-  bool list_valid() const { return drift_ < cfg_.drift_allowance(); }
+  bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }
 
   // The whole rebuild pipeline runs thread-parallel: wrap, binning
   // (two-level counting sort), cell-order reorder (parallel gather), and
@@ -116,7 +118,7 @@ class SmpSim {
                              boundary_.wrap(pos[static_cast<std::size_t>(i)]);
                            }
                          });
-      grid_.configure(Vec<D>{}, cfg_.box, cfg_.cutoff(), wrap_flags());
+      grid_.configure(Vec<D>{}, cfg_.box, cfg_.binning_radius(), wrap_flags());
       grid_.bin_parallel(store_.cpositions(), store_.size(), team_);
       counters_.rebuild_bin_ns += elapsed_ns(t);
     }
@@ -135,7 +137,7 @@ class SmpSim {
         return boundary_.displacement(a, b);
       };
       build_links_fused(links_, grid_, store_.cpositions(), store_.size(),
-                        cfg_.cutoff(), disp, team_, fused_scratch_);
+                        cfg_.list_radius(), disp, team_, fused_scratch_);
       counters_.links_core = 0;
       counters_.links_halo = 0;
       record_link_stats(links_, counters_);
@@ -146,7 +148,7 @@ class SmpSim {
       const auto pos = store_.cpositions();
       ref_pos_.assign(pos.begin(), pos.begin() + store_.size());
     }
-    drift_ = 0.0;
+    drift_.reset();
     ++counters_.rebuilds;
   }
 
@@ -192,7 +194,7 @@ class SmpSim {
   LinkList links_;
   FusedBuildScratch fused_scratch_;
   double potential_ = 0.0;
-  double drift_ = 0.0;
+  DriftTracker drift_{cfg_.drift_measured, cfg_.dt};
   // Rebuild-time position snapshot for the measured-drift trigger.
   std::vector<Vec<D>> ref_pos_;
   Counters counters_;

@@ -213,6 +213,10 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
   // leave the term at zero.  Binning, reordering and link generation run
   // on the rank's team; the prefix-scan/layout share (t_scan) is the
   // rebuild's serial fraction and is paid at full cost per rebuild.
+  // A Verlet skin (SimConfig::skin_factor) drops this frequency toward
+  // 1 / reuse-interval while inflating links_core with rc+skin candidates;
+  // both effects arrive through the measured counts, so the same formula
+  // prices any skin.
   const double rebuilds_per_iter = static_cast<double>(run.agg.rebuilds) /
                                    static_cast<double>(run.iterations);
   if (rebuilds_per_iter > 0.0) {
@@ -228,6 +232,19 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
                   ((n_rank * per_particle + links_rank * machine.t_linkgen) /
                        t_count +
                    n_rank * machine.t_scan);
+    // Halo-template refresh and migration ride the same schedule: both
+    // happen only at true rebuilds, so skipped rebuilds skip them too
+    // (Counters::halo_rebuilds_skipped / migrations_skipped).  Template
+    // selection packs and unpacks each halo copy — a gather/scatter of the
+    // same flavour as the reorder permutation copy — and the migration
+    // check classifies every core particle like a binning pass.  Zero for
+    // the undecomposed drivers (no halo copies measured).
+    const double halo_rank = static_cast<double>(run.agg.halo_particles) *
+                             layout.count_scale /
+                             static_cast<double>(run.nprocs);
+    out.rebuild += rebuilds_per_iter *
+                   (halo_rank * machine.t_reorder + n_rank * machine.t_bin) /
+                   t_count;
   }
   // Load imbalance (opt-in): the step is bulk-synchronous — the rebuild
   // criterion's allreduce fences every iteration — so everyone waits for

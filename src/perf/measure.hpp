@@ -51,6 +51,16 @@ struct MeasureSpec {
   // node granularity (0 = every rank on one node).
   bool shared_halo = false;
   int ranks_per_node = 0;
+  // Verlet skin as a fraction of rc (SimConfig::skin_factor): candidate
+  // links out to rc + skin, rebuilds only when drift can close the gap.
+  double skin = 0.0;
+  // Binning capacity as a fraction of rc (SimConfig::skin_cap_factor);
+  // < 0 follows `skin`.  Pin it across a skin sweep to keep the cell
+  // geometry — and hence trajectories — identical.
+  double skin_cap = -1.0;
+  // Initial speed scale (SimConfig::velocity_scale): how hot the system
+  // runs, i.e. how often drift invalidates the candidate list.
+  double velocity_scale = 0.05;
   // < 1 confines all particles to the bottom fraction of the box (the
   // clustered, load-imbalanced workload class the paper targets).
   double cluster_fraction = 1.0;
@@ -80,6 +90,9 @@ SimConfig<D> benchmark_config(const MeasureSpec& spec) {
   cfg.diameter = 0.05;
   cfg.cutoff_factor = spec.rc_factor;
   cfg.reorder = spec.reorder;
+  cfg.skin_factor = spec.skin;
+  cfg.skin_cap_factor = spec.skin_cap;
+  cfg.velocity_scale = spec.velocity_scale;
   cfg.seed = spec.seed;
   return cfg;
 }

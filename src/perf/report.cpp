@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace hdem::perf {
@@ -20,6 +21,36 @@ void save_artifact(const std::string& name, const std::string& content) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_artifact: cannot open " + path.string());
   out << content;
+}
+
+ReuseSummary reuse_summary(const Counters& c) {
+  ReuseSummary s;
+  s.iterations = c.iterations;
+  s.rebuilds = c.rebuilds;
+  s.rebuilds_skipped = c.rebuilds_skipped;
+  s.migrations_skipped = c.migrations_skipped;
+  s.halo_rebuilds_skipped = c.halo_rebuilds_skipped;
+  if (c.rebuilds > 0) {
+    s.mean_reuse_interval = static_cast<double>(c.iterations) /
+                            static_cast<double>(c.rebuilds);
+  } else if (c.iterations > 0) {
+    // A window that never rebuilt served every step off one list.
+    s.mean_reuse_interval = static_cast<double>(c.iterations);
+  }
+  return s;
+}
+
+std::string reuse_line(const ReuseSummary& s) {
+  std::ostringstream os;
+  os << "rebuilds=" << s.rebuilds << " skipped=" << s.rebuilds_skipped;
+  if (s.migrations_skipped > 0 || s.halo_rebuilds_skipped > 0) {
+    os << " (migrations=" << s.migrations_skipped
+       << " halo_templates=" << s.halo_rebuilds_skipped << ")";
+  }
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << " reuse=" << s.mean_reuse_interval << "x";
+  return os.str();
 }
 
 }  // namespace hdem::perf

@@ -7,6 +7,8 @@
 
 #include <string>
 
+#include "core/counters.hpp"
+
 namespace hdem::perf {
 
 // Directory where bench artifacts are written ("results", overridable via
@@ -15,5 +17,22 @@ std::string results_dir();
 
 // Write `content` to results_dir()/name (overwriting).
 void save_artifact(const std::string& name, const std::string& content);
+
+// Verlet-skin amortization at a glance for bench tables: how many steps a
+// window ran, how many rebuilt vs reused the candidate list, and the mean
+// number of steps each built list served (iterations / rebuilds; equals 1
+// when every step rebuilds, iterations when the window never rebuilt).
+struct ReuseSummary {
+  std::uint64_t iterations = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t rebuilds_skipped = 0;
+  std::uint64_t migrations_skipped = 0;
+  std::uint64_t halo_rebuilds_skipped = 0;
+  double mean_reuse_interval = 0.0;
+};
+ReuseSummary reuse_summary(const Counters& c);
+
+// One-line rendering of the summary ("rebuilds=3 skipped=117 reuse=40.0x").
+std::string reuse_line(const ReuseSummary& s);
 
 }  // namespace hdem::perf

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "core/serial_sim.hpp"
+#include "util/skin_cli.hpp"
 
 namespace hdem {
 namespace {
@@ -52,6 +53,9 @@ void run_equivalence(const Case& p, std::uint64_t n, int steps,
   cfg.bc = p.bc;
   cfg.seed = seed;
   cfg.velocity_scale = 0.8;  // rebuilds + migrations inside the window
+  // CI runs the whole suite under HDEM_SKIN as well; the serial reference
+  // shares the config, so equivalence must hold at any skin.
+  cfg.skin_factor = skin_env_default();
   const auto ref = serial_reference<D>(cfg, n, steps);
   const auto init = uniform_random_particles(cfg, n);
   const auto layout = DecompLayout<D>::make(p.nprocs, p.blocks_per_proc);
@@ -160,6 +164,7 @@ void expect_overlap_bit_identical(std::uint64_t n, int steps,
   cfg.seed = seed;
   cfg.reorder = reorder;
   cfg.velocity_scale = 0.8;  // rebuilds + migrations inside the window
+  cfg.skin_factor = skin_env_default();
   const auto init = uniform_random_particles(cfg, n);
   opts.overlap = false;
   const auto off = run_mp_state<D>(cfg, init, nprocs, bpp, opts, steps);
@@ -249,6 +254,7 @@ TEST(MpOverlap, NoMessageLeakAfterTeardown) {
   cfg.box = Vec<2>(1.0);
   cfg.seed = 13;
   cfg.velocity_scale = 0.8;
+  cfg.skin_factor = skin_env_default();
   const auto init = uniform_random_particles(cfg, 400);
   const auto layout = DecompLayout<2>::make(4, 2);
   mp::run(4, [&](mp::Comm& comm) {
@@ -272,6 +278,9 @@ TEST(MpSim, HaloLinkAccountingSymmetric) {
   SimConfig<2> cfg;
   cfg.box = Vec<2>(1.0);
   cfg.seed = 41;
+  // Candidate lists widen with the skin on both sides identically, so the
+  // two-sided halo accounting stays exact at any HDEM_SKIN.
+  cfg.skin_factor = skin_env_default();
   const std::uint64_t n = 600;
   const auto init = uniform_random_particles(cfg, n);
   auto serial = SerialSim<2>(cfg, ElasticSphere{cfg.stiffness, cfg.diameter},
@@ -309,6 +318,7 @@ TEST(MpSim, RejectsMismatchedCommSize) {
 TEST(MpSim, FinerGranularityMoreMessages) {
   SimConfig<2> cfg;
   cfg.box = Vec<2>(1.0);
+  cfg.skin_factor = skin_env_default();
   const auto init = uniform_random_particles(cfg, 600);
   std::uint64_t msgs_coarse = 0, msgs_fine = 0;
   for (int bpp : {1, 4}) {
@@ -332,6 +342,7 @@ TEST(MpSim, FinerGranularityMoreMessages) {
 TEST(MpSim, CountersBlocksAndParticles) {
   SimConfig<2> cfg;
   cfg.box = Vec<2>(1.0);
+  cfg.skin_factor = skin_env_default();
   const auto init = uniform_random_particles(cfg, 400);
   const auto layout = DecompLayout<2>::make(2, 8);
   mp::run(2, [&](mp::Comm& comm) {
