@@ -10,6 +10,7 @@
 
 #include "common.hpp"
 #include "util/decomp_cli.hpp"
+#include "util/halo_cli.hpp"
 
 namespace hdem::bench {
 
@@ -28,6 +29,7 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
   declare_common_options(cli, ctx);
   const auto decomp =
       declare_decomp_options(cli, {1, 2, 4, 8, 16, 32});
+  const auto halo = declare_halo_options(cli);
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
   const auto& machine = ctx.cpq;
@@ -60,6 +62,8 @@ inline int run_hybrid_granularity_bench(int argc, char** argv, int D,
       mpi.rebalance_threshold = decomp.rebalance_threshold;
       mpi.shared_halo = decomp.shared_halo;
       mpi.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
+      mpi.halo_delta = halo.delta;
+      mpi.halo_coalesce = halo.coalesce;
       const double t_mpi =
           predict_paper_seconds(machine, perf::measure_run(mpi).run, 4);
       if (bpp == 1) t_ref = t_mpi;

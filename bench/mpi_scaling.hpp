@@ -10,6 +10,7 @@
 
 #include "common.hpp"
 #include "util/decomp_cli.hpp"
+#include "util/halo_cli.hpp"
 
 namespace hdem::bench {
 
@@ -27,6 +28,7 @@ inline int run_mpi_scaling_bench(int argc, char** argv, bool reorder,
   BenchContext ctx;
   declare_common_options(cli, ctx);
   const auto decomp = declare_decomp_options(cli, {1});
+  const auto halo = declare_halo_options(cli);
   if (cli.finish()) return 0;
   calibrate_platforms(ctx);
 
@@ -58,6 +60,8 @@ inline int run_mpi_scaling_bench(int argc, char** argv, bool reorder,
       spec.rebalance_threshold = decomp.rebalance_threshold;
       spec.shared_halo = decomp.shared_halo;
       spec.ranks_per_node = static_cast<int>(decomp.ranks_per_node);
+      spec.halo_delta = halo.delta;
+      spec.halo_coalesce = halo.coalesce;
       measured.emplace(key, perf::measure_run(spec).run);
     }
   }

@@ -18,6 +18,7 @@
 #include "perf/report.hpp"
 #include "util/cli.hpp"
 #include "util/decomp_cli.hpp"
+#include "util/halo_cli.hpp"
 #include "util/skin_cli.hpp"
 
 using namespace hdem;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.integer("steps", 60, "iterations"));
   const auto decomp = declare_decomp_options(cli, {4});
   const auto skin = declare_skin_options(cli);
+  const auto halo = declare_halo_options(cli);
   if (cli.finish()) return 0;
   // Stealing rides the colored reduction; the atomic-family default stays
   // for the plain run so the locked-update column remains meaningful.
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   cfg.seed = 99;
   cfg.skin_factor = skin.skin;
   cfg.skin_cap_factor = skin.skin_cap;
+  halo.apply(cfg);
   const ElasticSphere model{cfg.stiffness, cfg.diameter};
   const auto init = uniform_random_particles(cfg, n);
 
@@ -104,6 +107,8 @@ int main(int argc, char** argv) {
         energy, err, static_cast<unsigned long long>(c.msgs_sent),
         static_cast<unsigned long long>(c.bytes_sent),
         static_cast<unsigned long long>(c.halo_particles));
+    std::printf("  halo swap (mp): %s\n",
+                perf::halo_line(perf::halo_summary(c)).c_str());
   });
 
   // --- hybrid: 2 ranks ("nodes") x 2 threads each -------------------------
@@ -135,6 +140,8 @@ int main(int argc, char** argv) {
         "hybrid:  energy %.6f  max dev %.1e  msgs %llu  regions %llu\n",
         energy, err, static_cast<unsigned long long>(c.msgs_sent),
         static_cast<unsigned long long>(c.parallel_regions));
+    std::printf("  halo swap (hybrid): %s\n",
+                perf::halo_line(perf::halo_summary(c)).c_str());
   });
 
   std::printf(

@@ -3,11 +3,25 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/vec.hpp"
 
 namespace hdem {
+
+// HDEM_HALO_DELTA / HDEM_HALO_COALESCE let whole test suites and CI legs
+// run the delta-compressed / coalesced halo swap without touching their
+// flags (the same pattern as HDEM_SKIN and HDEM_SHARED_HALO).
+inline bool halo_delta_env_default() {
+  const char* env = std::getenv("HDEM_HALO_DELTA");
+  return env != nullptr && env[0] == '1';
+}
+
+inline bool halo_coalesce_env_default() {
+  const char* env = std::getenv("HDEM_HALO_COALESCE");
+  return env != nullptr && env[0] == '1';
+}
 
 enum class BoundaryKind : std::uint8_t {
   kPeriodic,  // periodic in every dimension
@@ -47,6 +61,17 @@ struct SimConfig {
   // order — identical, which is what makes trajectories bit-identical
   // across skin values (DESIGN §3.7).
   double skin_cap_factor = -1.0;   // < 0: use skin_factor
+  // Delta-compressed halo swaps: each send side keeps a shadow of the
+  // template slice it last shipped and sends a bitmask plus only the
+  // changed Vec<D> values; receivers patch their halo regions in place.
+  // Bitwise-exact reconstruction, so trajectories are bit-identical with
+  // delta on or off (DESIGN §3.8).
+  bool halo_delta = halo_delta_env_default();
+  // Coalesce all wire halo sides sharing a (neighbour rank, dim,
+  // direction) into one framed message — cuts the per-message latency
+  // term when blocks-per-proc > 1.  Independent of halo_delta (frames
+  // carry eager payloads when delta is off).
+  bool halo_coalesce = halo_coalesce_env_default();
   std::uint64_t seed = 12345;      // RNG seed for initial conditions
 
   double rmax() const { return diameter; }
@@ -67,6 +92,17 @@ struct SimConfig {
   double drift_allowance() const { return 0.5 * (list_radius() - rmax()); }
 
   void validate() const {
+    // Delta swaps ride the halo templates: a shadow is only worth keeping
+    // if the template has capacity to survive at least one step of reuse.
+    // Zero-capacity templates (list_radius() <= rmax(), so any motion at
+    // all exceeds the drift allowance) would invalidate every shadow every
+    // step and the mode degenerates to pure framing overhead — reject the
+    // combination up front.
+    if (halo_delta && drift_allowance() <= 0.0) {
+      throw std::invalid_argument(
+          "halo_delta needs template capacity: list_radius() must exceed "
+          "rmax() (raise cutoff_factor or skin_factor)");
+    }
     if (cutoff_factor <= 1.0) {
       throw std::invalid_argument("cutoff_factor must exceed 1 (rc > rmax)");
     }

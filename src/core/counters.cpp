@@ -49,6 +49,13 @@ Counters& Counters::merge(const Counters& o) {
   window_republishes += o.window_republishes;
   collectives += o.collectives;
   migrated_particles += o.migrated_particles;
+  halo_bytes_eager += o.halo_bytes_eager;
+  halo_bytes_delta += o.halo_bytes_delta;
+  bytes_delta_saved += o.bytes_delta_saved;
+  halo_frame_overhead += o.halo_frame_overhead;
+  msgs_coalesced += o.msgs_coalesced;
+  halo_msgs_wire += o.halo_msgs_wire;
+  halo_bytes_wire += o.halo_bytes_wire;
   irecvs_posted += o.irecvs_posted;
   waits_blocked += o.waits_blocked;
   bytes_overlapped += o.bytes_overlapped;
@@ -151,6 +158,14 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   d.window_republishes = after.window_republishes - before.window_republishes;
   d.collectives = after.collectives - before.collectives;
   d.migrated_particles = after.migrated_particles - before.migrated_particles;
+  d.halo_bytes_eager = after.halo_bytes_eager - before.halo_bytes_eager;
+  d.halo_bytes_delta = after.halo_bytes_delta - before.halo_bytes_delta;
+  d.bytes_delta_saved = after.bytes_delta_saved - before.bytes_delta_saved;
+  d.halo_frame_overhead =
+      after.halo_frame_overhead - before.halo_frame_overhead;
+  d.msgs_coalesced = after.msgs_coalesced - before.msgs_coalesced;
+  d.halo_msgs_wire = after.halo_msgs_wire - before.halo_msgs_wire;
+  d.halo_bytes_wire = after.halo_bytes_wire - before.halo_bytes_wire;
   d.irecvs_posted = after.irecvs_posted - before.irecvs_posted;
   d.waits_blocked = after.waits_blocked - before.waits_blocked;
   d.bytes_overlapped = after.bytes_overlapped - before.bytes_overlapped;
@@ -183,6 +198,12 @@ Counters counters_delta(const Counters& after, const Counters& before) {
   return d;
 }
 
+double Counters::delta_hit_rate() const {
+  if (halo_bytes_eager == 0) return 0.0;
+  return static_cast<double>(bytes_delta_saved) /
+         static_cast<double>(halo_bytes_eager);
+}
+
 double Counters::mean_link_gap() const {
   if (link_gap_count == 0) return 0.0;
   return static_cast<double>(link_gap_sum) /
@@ -213,6 +234,13 @@ std::string Counters::summary() const {
      << " migrated=" << migrated_particles << "\n"
      << "shared: msgs=" << msgs_shared << " bytes=" << bytes_shared
      << " republishes=" << window_republishes << "\n"
+     << "halo: wire_msgs=" << halo_msgs_wire
+     << " wire_bytes=" << halo_bytes_wire
+     << " eager=" << halo_bytes_eager << " delta=" << halo_bytes_delta
+     << " saved=" << bytes_delta_saved
+     << " overhead=" << halo_frame_overhead
+     << " coalesced=" << msgs_coalesced
+     << " hit=" << delta_hit_rate() << "\n"
      << "overlap: irecvs=" << irecvs_posted
      << " waits_blocked=" << waits_blocked
      << " bytes_overlapped=" << bytes_overlapped

@@ -75,6 +75,34 @@ struct Counters {
   std::uint64_t collectives = 0;       // barrier/reduce/bcast episodes
   std::uint64_t migrated_particles = 0;// particles re-homed at rebuilds
 
+  // -- delta-compressed halo swaps (cumulative) -------------------------------
+  // With --halo-delta each send side compares the current template slice
+  // against a last-sent shadow and ships only the changed values behind a
+  // bitmask frame; the receiver patches its halo region in place.  The
+  // sender tallies halo_bytes_eager (what the eager protocol would have
+  // shipped for the same swaps) and halo_bytes_delta (the value payload it
+  // actually shipped); the receiver tallies bytes_delta_saved for the
+  // entries it reconstructed from its own halo copy.  Reconstruction is
+  // bitwise-exact, so the two ends of every stream agree and the merged
+  // counters obey the conservation invariant
+  //   halo_bytes_eager = halo_bytes_delta + bytes_delta_saved.
+  // On a delta run bytes_shared also shrinks to the masked-changed bytes
+  // the same-node readers actually copy (bytes_delta_saved makes up the
+  // difference against an eager run).
+  std::uint64_t halo_bytes_eager = 0;  // eager-equivalent bytes (sender)
+  std::uint64_t halo_bytes_delta = 0;  // changed-value bytes shipped (sender)
+  std::uint64_t bytes_delta_saved = 0; // bytes reconstructed in place (receiver)
+  std::uint64_t halo_frame_overhead = 0;// frame header + mask bytes added
+  std::uint64_t msgs_coalesced = 0;    // wire sides merged into shared frames
+  // Wire halo traffic alone: msgs_sent/bytes_sent also count collectives
+  // and rebuild messages, so the swap-path reductions are gated on these.
+  std::uint64_t halo_msgs_wire = 0;    // halo swap messages put on the wire
+  std::uint64_t halo_bytes_wire = 0;   // payload bytes in those messages
+
+  // Fraction of eager halo bytes the delta protocol avoided shipping
+  // (0 when delta is off or nothing was exchanged).
+  double delta_hit_rate() const;
+
   // -- nonblocking runtime (cumulative) ---------------------------------------
   // A receive whose message had already arrived when its wait ran hid its
   // transfer behind compute (overlapped); one whose wait had to block left

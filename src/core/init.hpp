@@ -129,4 +129,28 @@ std::vector<ParticleInit<D>> lattice_particles(const SimConfig<D>& cfg,
   return out;
 }
 
+// Settled bed: a contact-free lattice at rest except for every `stride`-th
+// particle, which carries a fixed small velocity.  The static majority
+// repeats bit-identically between halo swaps — the workload the
+// delta-compressed halo frames (SimConfig::halo_delta) exploit.  Callers
+// widen the box (lattice spacing > rc) so the bed stays contact-free over
+// the measured window.
+template <int D>
+std::vector<ParticleInit<D>> settled_bed_particles(const SimConfig<D>& cfg,
+                                                   std::uint64_t approx_n,
+                                                   std::uint64_t stride,
+                                                   double speed) {
+  SimConfig<D> quiet = cfg;
+  quiet.velocity_scale = 0.0;
+  auto out = lattice_particles(quiet, approx_n);
+  if (stride == 0) return out;
+  for (std::size_t i = 0; i < out.size();
+       i += static_cast<std::size_t>(stride)) {
+    for (int d = 0; d < D; ++d) {
+      out[i].vel[d] = speed / static_cast<double>(d + 1);
+    }
+  }
+  return out;
+}
+
 }  // namespace hdem

@@ -37,6 +37,23 @@ struct BlockDomain {
     // rebuild; the pointed-to windows are owned by the World's registry.
     mp::HaloWindow* pub = nullptr;
     mp::HaloWindow* sub = nullptr;
+    // Delta-compressed swaps (--halo-delta): the unshifted template slice
+    // this side last shipped, against which the next pack bit-compares.
+    // Seeded (and thereby invalidated) whenever the templates rebuild —
+    // rebuilds, rebalances and window republications all funnel through
+    // build_templates, so a stale shadow cannot survive any of them.
+    // Wire sends only; window sides use the staging buffer as shadow.
+    std::vector<Vec<D>> shadow;
+    // Change statistics accumulated over the swaps since the last rebuild;
+    // at the next rebuild they decide eager_frames for the coming
+    // interval (the adaptive fallback, DESIGN §3.8).  The decision point
+    // is a global collective (every rank rebuilds the same step), so both
+    // endpoints of an edge flip modes together; the per-frame mode byte
+    // keeps the receiver exact regardless.
+    std::uint64_t delta_entries = 0;   // template entries packed
+    std::uint64_t delta_changed = 0;   // ... whose bits differed
+    std::uint64_t delta_mask_bytes = 0;// mask bytes delta frames would ship
+    bool eager_frames = false;         // ship full payloads this interval
   };
 
   int index = -1;                 // global block index

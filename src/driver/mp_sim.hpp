@@ -140,6 +140,10 @@ class MpSim {
     if (opts_.shared_halo) {
       halo_.enable_shared_windows(mp::NodeMap(opts_.ranks_per_node));
     }
+    // Framed swaps (delta compression and/or coalescing) come from the
+    // config — a collective setting, validated by cfg_.validate() above —
+    // so every rank's exchanger frames identically.
+    halo_.set_frame_modes(cfg_.halo_delta, cfg_.halo_coalesce);
 
     // Instantiate this rank's blocks and adopt its share of the global
     // initial condition (every rank scans the same deterministic list).

@@ -11,6 +11,9 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   RawMessage m;
   m.src = rank_;
   m.tag = tag;
+  // Pooled payload: assign() reuses the recycled vector's capacity, so
+  // steady-state halo swaps copy without touching the allocator.
+  m.payload = world_->acquire_buffer();
   m.payload.assign(data.begin(), data.end());
   ++counters_.msgs_sent;
   counters_.bytes_sent += data.size();
@@ -56,6 +59,7 @@ void Comm::deliver(Request& req, RawMessage msg) {
   req.bytes_ = msg.payload.size();
   req.done_ = true;
   req.ticket_.reset();
+  world_->recycle_buffer(std::move(msg.payload));
 }
 
 bool Comm::test(Request& req) {

@@ -92,6 +92,7 @@ class Comm {
     RawMessage m = recv_msg(src, tag);
     std::vector<T> out(m.payload.size() / sizeof(T));
     std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    world_->recycle_buffer(std::move(m.payload));
     return out;
   }
 
@@ -102,6 +103,7 @@ class Comm {
     RawMessage m = recv_msg(src, tag);
     const std::size_t n = m.payload.size() / sizeof(T);
     std::memcpy(out.data(), m.payload.data(), n * sizeof(T));
+    world_->recycle_buffer(std::move(m.payload));
     return n;
   }
 

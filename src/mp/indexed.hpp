@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,32 @@ class IndexedType {
     std::vector<T> out(indices_.size());
     pack(base, std::span<T>(out));
     return out;
+  }
+
+  // Delta pack: gather base[indices[k]], bit-compare against shadow[k]
+  // (the values shipped last time), and for entries whose bits changed
+  // set bit k of `mask`, update the shadow, and append the new value to
+  // `out` — one fused pass, so the compare costs no second gather.  The
+  // caller provides `mask` zeroed with at least ceil(count()/64) words
+  // and `shadow` with exactly count() elements.  Returns the changed
+  // count (== out elements appended).  Bit comparison (memcmp, not ==)
+  // is what makes reconstruction bitwise-exact: -0.0 vs 0.0 and NaN
+  // payloads all count as changes.
+  template <class T>
+  std::size_t pack_delta(std::span<const T> base, std::span<T> shadow,
+                         std::span<std::uint64_t> mask,
+                         std::vector<T>& out) const {
+    std::size_t changed = 0;
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      const T& v = base[static_cast<std::size_t>(indices_[k])];
+      if (std::memcmp(&v, &shadow[k], sizeof(T)) != 0) {
+        shadow[k] = v;
+        mask[k >> 6] |= std::uint64_t{1} << (k & 63);
+        out.push_back(v);
+        ++changed;
+      }
+    }
+    return changed;
   }
 
   // Scatter is the inverse of pack (used in tests and by bidirectional

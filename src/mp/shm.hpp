@@ -70,6 +70,19 @@ struct HaloWindow {
   std::size_t count = 0;
   double shift = 0.0;
   int dim = 0;
+  // Delta extension (--halo-delta): the staging buffer doubles as the
+  // owner's last-sent shadow, so a masked epoch rewrites only the entries
+  // whose bits changed and sets their bits in `mask`; the reader then
+  // copies just those entries — its halo region already holds the rest
+  // bit-exactly.  `masked` is false on eager epochs (delta off, adaptive
+  // fallback, or the first epoch after a (re)publication, flagged by
+  // `fresh`, when the stage contents are not yet a valid shadow).  All
+  // four fields follow the descriptor protocol above: written behind the
+  // ack fence, read behind the gen fence, plain data in between.
+  std::vector<std::uint64_t> mask;
+  std::size_t changed = 0;
+  bool masked = false;
+  bool fresh = true;
 
   void advance(std::atomic<std::uint64_t>& fence, std::uint64_t value) {
     {

@@ -80,6 +80,24 @@ World::World(int nranks) {
   for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
 }
 
+std::vector<std::byte> World::acquire_buffer() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool_.back());
+  pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void World::recycle_buffer(std::vector<std::byte>&& buf) {
+  if (buf.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Bound: enough for every rank to keep a dimension sweep's sends in
+  // flight, small enough that a rebuild burst drains back out.
+  if (pool_.size() >= static_cast<std::size_t>(8 * size())) return;
+  pool_.push_back(std::move(buf));
+}
+
 void World::barrier() {
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const std::uint64_t gen = barrier_generation_;

@@ -108,6 +108,16 @@ class World {
   // Shared halo windows published by this world's ranks (mp/shm.hpp).
   WindowRegistry& windows() { return windows_; }
 
+  // Payload buffer pool: every buffered send copies into a fresh byte
+  // vector and every completed receive drops one, at halo-swap rates.
+  // Recycling the vectors (capacity intact) through the world keeps the
+  // steady-state send path allocation-free — the message-rate analogue of
+  // the framed swap's persistent channel buffers.  The pool is bounded so
+  // a burst (a rebuild's template exchange) cannot pin its high-water
+  // memory forever.
+  std::vector<std::byte> acquire_buffer();
+  void recycle_buffer(std::vector<std::byte>&& buf);
+
  private:
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   WindowRegistry windows_;
@@ -115,6 +125,8 @@ class World {
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  std::mutex pool_mu_;
+  std::vector<std::vector<std::byte>> pool_;
 };
 
 }  // namespace hdem::mp

@@ -21,6 +21,12 @@ ModelLayout paper_scale_layout(const RunMeasurement& run, int ranks_per_node,
   return l;
 }
 
+double halo_change_fraction(const RunMeasurement& run) {
+  if (run.agg.halo_bytes_eager == 0) return 1.0;
+  return static_cast<double>(run.agg.halo_bytes_delta) /
+         static_cast<double>(run.agg.halo_bytes_eager);
+}
+
 double CostModel::bytes_per_particle(int D) {
   // Positions and forces of the partner particle plus the link record:
   // 2 vectors of D doubles + two 4-byte indices.
@@ -207,6 +213,20 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
                          static_cast<double>(run.iterations));
   out.comm += smsgs * machine.lat_local +
               sbytes * saturation / std::max(machine.reduction_bw, 1.0);
+  // Delta-compressed halo frames: the wire and shared-window byte terms
+  // above already price the *reduced* traffic — the matrices and
+  // bytes_shared record what actually moved, so the measured change
+  // fraction and the coalesced message count arrive through the counts.
+  // What delta adds on top is the pack-time compare: every swap streams
+  // the packed slice and its shadow (2x the eager byte volume) through the
+  // node's memory system before deciding what to ship.  Zero when the run
+  // recorded no eager baseline (delta off).
+  const double cmp_bytes = 2.0 *
+                           static_cast<double>(run.agg.halo_bytes_eager) *
+                           layout.comm_scale /
+                           (static_cast<double>(run.nprocs) *
+                            static_cast<double>(run.iterations));
+  out.comm += cmp_bytes * saturation / std::max(machine.reduction_bw, 1.0);
   // Amortised list-rebuild cost.  agg.rebuilds is a per-rank count (it
   // merges by max), so rebuilds / iterations is the drift-driven rebuild
   // frequency; steady-state measurement windows that exclude rebuilds

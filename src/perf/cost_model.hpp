@@ -134,6 +134,15 @@ class CostModel {
                                     int ranks_per_node);
 };
 
+// Measured fraction of halo entries that changed between swaps: delta
+// bytes shipped over the eager bytes the same swaps would have shipped.
+// 1.0 when the run recorded no eager baseline (delta compression off) —
+// every entry ships every swap.  The benches report this next to the
+// model's comm term: the wire traffic the model prices (the byte/message
+// matrices) already reflects this fraction, since the matrices record what
+// actually moved.
+double halo_change_fraction(const RunMeasurement& run);
+
 // Convenience: speedup/efficiency bookkeeping used by the figure benches.
 inline double efficiency(double t_ref, double p_ref, double t, double p) {
   return (t_ref * p_ref) / (t * p);

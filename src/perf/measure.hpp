@@ -51,6 +51,20 @@ struct MeasureSpec {
   // node granularity (0 = every rank on one node).
   bool shared_halo = false;
   int ranks_per_node = 0;
+  // Delta-compressed halo frames (SimConfig::halo_delta): ship only the
+  // positions that changed since the last swap, plus a change bitmask.
+  bool halo_delta = false;
+  // Coalesce wire halo sides sharing (neighbour rank, dim, direction) into
+  // one framed message (SimConfig::halo_coalesce).
+  bool halo_coalesce = false;
+  // Settled-bed workload (settled_stride > 0): a contact-free lattice at
+  // rest except for every settled_stride-th particle moving at
+  // settled_speed, in a box widened by box_scale so the lattice spacing
+  // clears rc.  The workload whose static majority the delta frames
+  // compress.
+  std::uint64_t settled_stride = 0;
+  double settled_speed = 0.25;
+  double box_scale = 1.0;
   // Verlet skin as a fraction of rc (SimConfig::skin_factor): candidate
   // links out to rc + skin, rebuilds only when drift can close the gap.
   double skin = 0.0;
@@ -86,10 +100,12 @@ namespace detail {
 template <int D>
 SimConfig<D> benchmark_config(const MeasureSpec& spec) {
   SimConfig<D> cfg;
-  cfg.box = Vec<D>(SimConfig<D>::paper_box_edge(spec.n));
+  cfg.box = Vec<D>(SimConfig<D>::paper_box_edge(spec.n) * spec.box_scale);
   cfg.diameter = 0.05;
   cfg.cutoff_factor = spec.rc_factor;
   cfg.reorder = spec.reorder;
+  cfg.halo_delta = spec.halo_delta;
+  cfg.halo_coalesce = spec.halo_coalesce;
   cfg.skin_factor = spec.skin;
   cfg.skin_cap_factor = spec.skin_cap;
   cfg.velocity_scale = spec.velocity_scale;
@@ -101,10 +117,13 @@ template <int D>
 MeasuredRun measure_impl(const MeasureSpec& spec) {
   const SimConfig<D> cfg = benchmark_config<D>(spec);
   const ElasticSphere model{cfg.stiffness, cfg.diameter};
-  const auto init = spec.cluster_fraction < 1.0
-                        ? clustered_particles(cfg, spec.n,
-                                              spec.cluster_fraction)
-                        : uniform_random_particles(cfg, spec.n);
+  const auto init =
+      spec.settled_stride > 0
+          ? settled_bed_particles(cfg, spec.n, spec.settled_stride,
+                                  spec.settled_speed)
+      : spec.cluster_fraction < 1.0
+          ? clustered_particles(cfg, spec.n, spec.cluster_fraction)
+          : uniform_random_particles(cfg, spec.n);
 
   MeasuredRun out;
   out.run.D = D;

@@ -53,4 +53,37 @@ std::string reuse_line(const ReuseSummary& s) {
   return os.str();
 }
 
+HaloSummary halo_summary(const Counters& c) {
+  HaloSummary s;
+  s.iterations = c.iterations;
+  if (c.iterations > 0) {
+    const double steps = static_cast<double>(c.iterations);
+    s.wire_bytes_per_step = static_cast<double>(c.halo_bytes_wire) / steps;
+    s.wire_msgs_per_step = static_cast<double>(c.halo_msgs_wire) / steps;
+    s.shared_bytes_per_step = static_cast<double>(c.bytes_shared) / steps;
+    s.coalesced_per_step = static_cast<double>(c.msgs_coalesced) / steps;
+  }
+  s.delta_hit_rate = c.delta_hit_rate();
+  return s;
+}
+
+std::string halo_line(const HaloSummary& s) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "wire=" << s.wire_bytes_per_step << "B/step in "
+     << s.wire_msgs_per_step << " msgs";
+  if (s.shared_bytes_per_step > 0.0) {
+    os << " shared=" << s.shared_bytes_per_step << "B/step";
+  }
+  if (s.delta_hit_rate > 0.0) {
+    os.precision(1);
+    os << " hit=" << 100.0 * s.delta_hit_rate << "%";
+  }
+  if (s.coalesced_per_step > 0.0) {
+    os << " coalesced=" << s.coalesced_per_step << "/step";
+  }
+  return os.str();
+}
+
 }  // namespace hdem::perf

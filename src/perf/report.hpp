@@ -35,4 +35,22 @@ ReuseSummary reuse_summary(const Counters& c);
 // One-line rendering of the summary ("rebuilds=3 skipped=117 reuse=40.0x").
 std::string reuse_line(const ReuseSummary& s);
 
+// Halo-swap traffic at a glance for bench tables and example summaries:
+// wire bytes and messages per step, the same-node shared-window bytes, the
+// delta hit rate (fraction of eager halo bytes the delta frames avoided
+// shipping), and how many per-side wire messages coalescing merged away.
+// Built from merged (all-rank) counters over a steady-state window.
+struct HaloSummary {
+  std::uint64_t iterations = 0;
+  double wire_bytes_per_step = 0.0;
+  double wire_msgs_per_step = 0.0;
+  double shared_bytes_per_step = 0.0;
+  double coalesced_per_step = 0.0;
+  double delta_hit_rate = 0.0;  // bytes_delta_saved / halo_bytes_eager
+};
+HaloSummary halo_summary(const Counters& c);
+
+// One-line rendering ("wire=8.4KB/step in 8.0 msgs hit=87% coalesced=24").
+std::string halo_line(const HaloSummary& s);
+
 }  // namespace hdem::perf

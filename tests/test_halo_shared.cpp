@@ -212,9 +212,22 @@ void check_trajectory_identity(int nprocs, int bpp, int ranks_per_node,
 
   // Conservation: identical trajectories mean identical transfer volume;
   // the shared run moves part of it through windows instead of messages.
-  EXPECT_EQ(wire_total.bytes_sent + wire_total.bytes_local,
-            shm_total.bytes_sent + shm_total.bytes_shared +
-                shm_total.bytes_local);
+  if (cfg.halo_delta || cfg.halo_coalesce) {
+    // Delta/coalesced frames change what each transport actually moves
+    // (headers + masks + changed values on the wire, masked copies
+    // through windows), so the raw byte totals no longer conserve across
+    // transports.  What stays transport-invariant is the eager-equivalent
+    // halo volume, and each run must conserve it against its own savings.
+    EXPECT_EQ(wire_total.halo_bytes_eager, shm_total.halo_bytes_eager);
+    EXPECT_EQ(wire_total.halo_bytes_eager,
+              wire_total.halo_bytes_delta + wire_total.bytes_delta_saved);
+    EXPECT_EQ(shm_total.halo_bytes_eager,
+              shm_total.halo_bytes_delta + shm_total.bytes_delta_saved);
+  } else {
+    EXPECT_EQ(wire_total.bytes_sent + wire_total.bytes_local,
+              shm_total.bytes_sent + shm_total.bytes_shared +
+                  shm_total.bytes_local);
+  }
   EXPECT_EQ(wire_total.bytes_shared, 0u);
   EXPECT_EQ(wire_repub, 0u);
   if (ranks_per_node != 1 && nprocs > 1) {
