@@ -1,0 +1,192 @@
+// Multi-tenant simulation server: many independent DEM jobs multiplexed
+// over one shared thread team.
+//
+// The paper's shared-memory result, applied to serving: instead of one
+// team per simulation (oversubscribing the node) or one simulation at a
+// time (idling it), a single persistent ThreadTeam serves a whole job
+// trace through the work-stealing scheduler in src/serve.  Each job is an
+// independent trajectory (scenario, particle count, step budget, deadline
+// class); results stream to per-job checkpoint files that any driver can
+// resume from.
+//
+// A job trace is a text file, one job per line:
+//
+//     # scenario  n  steps  deadline
+//     uniform    1200  200  batch
+//     clustered   800  120  interactive
+//
+// Without --trace a synthetic mixed trace of --jobs jobs is generated.
+// With --verify every served trajectory is re-run standalone after the
+// serve and the checkpoint bytes compared — exits nonzero on any mismatch
+// (the CI serving smoke runs this).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hdem;
+
+namespace {
+
+std::string checkpoint_name(const std::string& dir, std::uint64_t job_id) {
+  return (std::filesystem::path(dir) /
+          ("job_" + std::to_string(job_id) + ".ckp"))
+      .string();
+}
+
+// Parse "scenario n steps deadline" lines; '#' starts a comment.
+std::vector<serve::JobSpec> read_trace(const std::string& path,
+                                       std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("sim_server: cannot open trace " + path);
+  std::vector<serve::JobSpec> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream is(line);
+    std::string scenario, deadline;
+    std::uint64_t n = 0, steps = 0;
+    if (!(is >> scenario >> n >> steps >> deadline)) continue;  // blank line
+    serve::JobSpec spec;
+    spec.job_id = specs.size();
+    spec.scenario = serve::scenario_from_string(scenario);
+    spec.n = n;
+    spec.steps = steps;
+    spec.deadline = serve::deadline_from_string(deadline);
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  if (specs.empty()) {
+    throw std::runtime_error("sim_server: trace has no jobs: " + path);
+  }
+  return specs;
+}
+
+// Synthetic mixed trace: cycling scenarios, varying sizes and budgets,
+// every fourth job interactive — enough shape to exercise both priority
+// lanes and uneven per-job cost.
+std::vector<serve::JobSpec> synthetic_trace(std::uint64_t jobs,
+                                            std::uint64_t seed) {
+  const serve::Scenario cycle[3] = {serve::Scenario::kUniform,
+                                    serve::Scenario::kClustered,
+                                    serve::Scenario::kSettled};
+  std::vector<serve::JobSpec> specs;
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    serve::JobSpec spec;
+    spec.job_id = i;
+    spec.scenario = cycle[i % 3];
+    spec.n = 400 + 200 * (i % 4);
+    spec.steps = 64 + 32 * (i % 3);
+    spec.deadline = i % 4 == 3 ? serve::DeadlineClass::kInteractive
+                               : serve::DeadlineClass::kBatch;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto jobs = static_cast<std::uint64_t>(
+      cli.integer("jobs", 8, "synthetic trace size (ignored with --trace)"));
+  const auto workers = static_cast<int>(
+      cli.integer("workers", 2, "thread-team size serving the jobs"));
+  const auto quantum = static_cast<std::uint64_t>(
+      cli.integer("quantum-steps", 32, "steps per scheduling slice"));
+  const auto seed = static_cast<std::uint64_t>(
+      cli.integer("seed", 12345, "trace-wide scenario seed"));
+  const std::string trace_path =
+      cli.str("trace", "", "job trace file (scenario n steps deadline)");
+  const std::string out_dir =
+      cli.str("out-dir", "serve_out", "directory for per-job checkpoints");
+  const bool verify = cli.flag(
+      "verify", "re-run every job standalone and byte-compare checkpoints");
+  if (cli.finish()) return 0;
+
+  auto specs = trace_path.empty() ? synthetic_trace(jobs, seed)
+                                  : read_trace(trace_path, seed);
+  std::filesystem::create_directories(out_dir);
+  for (auto& spec : specs) {
+    spec.checkpoint_path = checkpoint_name(out_dir, spec.job_id);
+  }
+
+  std::printf("serving %zu jobs over %d workers (quantum %llu steps)\n\n",
+              specs.size(), workers,
+              static_cast<unsigned long long>(quantum));
+
+  smp::ThreadTeam team(workers);
+  serve::Scheduler sched(team, {.quantum_steps = quantum});
+  std::vector<std::future<serve::JobResult>> futures;
+  futures.reserve(specs.size());
+  for (const auto& spec : specs) {
+    futures.push_back(sched.submit(serve::make_job(spec)));
+  }
+  sched.drain();
+
+  Table t({"job", "scenario", "class", "n", "steps", "quanta", "moves",
+           "cost", "latency", "wall(ms)", "checkpoint"});
+  std::vector<serve::JobResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  const auto stats = sched.stats();
+  for (const auto& r : results) {
+    const auto& spec = specs[static_cast<std::size_t>(r.job_id)];
+    // Completion latency on the deterministic cost clock, in per-worker
+    // work units (see serve/scheduler.hpp).
+    const double latency =
+        static_cast<double>(r.finish_cost - r.submit_cost) /
+        static_cast<double>(stats.workers);
+    t.add_row({std::to_string(r.job_id), to_string(spec.scenario),
+               to_string(r.deadline), std::to_string(spec.n),
+               std::to_string(r.steps), std::to_string(r.quanta),
+               std::to_string(r.migrations), std::to_string(r.cost_units),
+               Table::num(latency, 0), Table::num(1e3 * r.wall_seconds, 1),
+               r.checkpoint_path});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("%s\n", perf::serve_line(serve::serve_summary(stats)).c_str());
+
+  if (!verify) return 0;
+
+  // Re-run each spec standalone and compare checkpoint bytes: the served
+  // trajectory must be bit-identical to an isolated run of the same spec.
+  std::printf("\nverifying %zu trajectories against standalone runs...\n",
+              specs.size());
+  int failures = 0;
+  for (const auto& spec : specs) {
+    serve::JobSpec solo = spec;
+    solo.checkpoint_path = checkpoint_name(
+        out_dir, spec.job_id) + ".verify";
+    auto job = serve::make_job(solo);
+    job->advance(solo.steps);
+    const auto read = [](const std::string& p) {
+      std::ifstream in(p, std::ios::binary);
+      std::ostringstream os;
+      os << in.rdbuf();
+      return os.str();
+    };
+    const std::string served = read(spec.checkpoint_path);
+    const std::string solo_bytes = read(solo.checkpoint_path);
+    const bool same = !served.empty() && served == solo_bytes;
+    if (!same) {
+      std::fprintf(stderr, "FAIL: job %llu diverged from standalone run\n",
+                   static_cast<unsigned long long>(spec.job_id));
+      ++failures;
+    }
+    std::filesystem::remove(solo.checkpoint_path);
+  }
+  if (failures > 0) return 1;
+  std::printf("all %zu trajectories bit-identical to standalone runs\n",
+              specs.size());
+  return 0;
+}

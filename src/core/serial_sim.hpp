@@ -26,6 +26,7 @@
 #include "core/init.hpp"
 #include "core/link_list.hpp"
 #include "core/particle_store.hpp"
+#include "core/step_loop.hpp"
 #include "trace/tracer.hpp"
 #include "util/timer.hpp"
 
@@ -102,7 +103,7 @@ class SerialSim {
   }
 
   void run(std::uint64_t iterations) {
-    for (std::uint64_t i = 0; i < iterations; ++i) step();
+    StepLoop<SerialSim>(*this, iterations).advance(iterations);
   }
 
   bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }

@@ -1,0 +1,43 @@
+// Resumable step-loop engine.
+//
+// Every driver's run() used to be a private for-loop over step(); the
+// serving layer (src/serve) needs that loop to be *pausable*: a job
+// advances a quantum of steps, yields its worker to another job, and
+// resumes later with no trajectory difference against an uninterrupted
+// run.  StepLoop owns nothing but the budget arithmetic — however the
+// quanta are sliced, sim.step() is called exactly `budget` times in
+// order, so the trajectory is bit-identical to sim.run(budget) by
+// construction.  The drivers' run() methods are thin wrappers over it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hdem {
+
+template <class Sim>
+class StepLoop {
+ public:
+  StepLoop(Sim& sim, std::uint64_t budget) : sim_(&sim), budget_(budget) {}
+
+  // Advance up to n steps (fewer when the budget runs out first); returns
+  // the number of steps actually run (0 once the budget is spent).
+  std::uint64_t advance(std::uint64_t n) {
+    const std::uint64_t run = std::min(n, budget_ - done_);
+    for (std::uint64_t i = 0; i < run; ++i) sim_->step();
+    done_ += run;
+    return run;
+  }
+
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t done() const { return done_; }
+  std::uint64_t remaining() const { return budget_ - done_; }
+  bool finished() const { return done_ == budget_; }
+
+ private:
+  Sim* sim_;
+  std::uint64_t budget_;
+  std::uint64_t done_ = 0;
+};
+
+}  // namespace hdem

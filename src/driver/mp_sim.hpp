@@ -31,6 +31,7 @@
 #include "core/dynamics.hpp"
 #include "core/force_model.hpp"
 #include "core/init.hpp"
+#include "core/step_loop.hpp"
 #include "decomp/block.hpp"
 #include "decomp/halo.hpp"
 #include "decomp/layout.hpp"
@@ -342,7 +343,7 @@ class MpSim {
   }
 
   void run(std::uint64_t iterations) {
-    for (std::uint64_t i = 0; i < iterations; ++i) step();
+    StepLoop<MpSim>(*this, iterations).advance(iterations);
   }
 
   bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }

@@ -23,6 +23,7 @@
 #include "core/init.hpp"
 #include "core/link_list.hpp"
 #include "core/particle_store.hpp"
+#include "core/step_loop.hpp"
 #include "reduction/force_pass.hpp"
 #include "smp/thread_team.hpp"
 #include "trace/tracer.hpp"
@@ -94,7 +95,7 @@ class SmpSim {
   }
 
   void run(std::uint64_t iterations) {
-    for (std::uint64_t i = 0; i < iterations; ++i) step();
+    StepLoop<SmpSim>(*this, iterations).advance(iterations);
   }
 
   bool list_valid() const { return drift_.valid(cfg_.drift_allowance()); }

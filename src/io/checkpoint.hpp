@@ -81,8 +81,18 @@ void write_checkpoint(const std::string& path, const SimConfig<D>& cfg,
   for (int d = 0; d < D; ++d) detail::put(out, cfg.gravity[d]);
   detail::put(out, cfg.seed);
   detail::put(out, static_cast<std::uint64_t>(particles.size()));
-  out.write(reinterpret_cast<const char*>(particles.data()),
-            static_cast<std::streamsize>(particles.size_bytes()));
+  // Field-wise, with the struct's alignment hole written as explicit
+  // zeros: StateRecord has 4 bytes of padding after the int32 id, and
+  // dumping raw structs would put indeterminate padding bytes in the file
+  // — equal states must produce byte-identical checkpoints (the serving
+  // layer's identity gates compare files directly).  The layout matches
+  // the in-memory struct, so the reader can still bulk-read records.
+  for (const auto& r : particles) {
+    detail::put(out, r.id);
+    detail::put(out, std::uint32_t{0});
+    detail::put(out, r.pos);
+    detail::put(out, r.vel);
+  }
   if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
 }
 
@@ -122,16 +132,23 @@ Checkpoint<D> read_checkpoint(const std::string& path) {
   return ck;
 }
 
+// Sorted-by-id snapshot of any undecomposed driver's particle store (the
+// decomposed driver's gather_state already returns this shape).  The
+// serving jobs stream their state through this on every checkpoint.
+template <int D>
+std::vector<StateRecord<D>> snapshot_store(const ParticleStore<D>& store) {
+  std::vector<StateRecord<D>> out(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto id = store.id(i);
+    out[static_cast<std::size_t>(id)] = {id, store.pos(i), store.vel(i)};
+  }
+  return out;
+}
+
 // Snapshot a serial simulation (records sorted by id).
 template <int D, class Model>
 std::vector<StateRecord<D>> snapshot(const SerialSim<D, Model>& sim) {
-  std::vector<StateRecord<D>> out(sim.store().size());
-  for (std::size_t i = 0; i < sim.store().size(); ++i) {
-    const auto id = sim.store().id(i);
-    out[static_cast<std::size_t>(id)] = {id, sim.store().pos(i),
-                                         sim.store().vel(i)};
-  }
-  return out;
+  return snapshot_store<D>(sim.store());
 }
 
 }  // namespace hdem::io

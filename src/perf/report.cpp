@@ -86,4 +86,22 @@ std::string halo_line(const HaloSummary& s) {
   return os.str();
 }
 
+std::string serve_line(const ServeSummary& s) {
+  std::ostringstream os;
+  os << "jobs=" << s.jobs;
+  os.setf(std::ios::fixed);
+  if (s.run_seconds > 0.0) {
+    os.precision(2);
+    os << " (" << static_cast<double>(s.jobs) / s.run_seconds << "/s)";
+  }
+  os << " quanta=" << s.quanta << " steals=" << s.steals;
+  os.precision(1);
+  os << " overhead=" << 100.0 * s.overhead_fraction << "%";
+  if (s.workers > 1) {
+    os.precision(2);
+    os << " balance=" << s.balance;
+  }
+  return os.str();
+}
+
 }  // namespace hdem::perf

@@ -53,4 +53,26 @@ HaloSummary halo_summary(const Counters& c);
 // One-line rendering ("wire=8.4KB/step in 8.0 msgs hit=87% coalesced=24").
 std::string halo_line(const HaloSummary& s);
 
+// Serving-scheduler throughput at a glance for the sim server and fig14:
+// completed jobs and jobs/sec, quanta executed, steal count, the fraction
+// of worker time spent in queue bookkeeping rather than advancing jobs,
+// and the priced load balance of the measured schedule
+// (sum of per-worker cost / (workers x max per-worker cost); 1.0 is a
+// perfectly even schedule).  Built from a thread-safe ServeStats snapshot
+// (serve::serve_summary converts one).
+struct ServeSummary {
+  std::uint64_t jobs = 0;
+  double run_seconds = 0.0;
+  std::uint64_t quanta = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t cost_units = 0;
+  double overhead_fraction = 0.0;
+  int workers = 1;
+  double balance = 0.0;
+};
+
+// One-line rendering ("jobs=12 (3.4/s) quanta=480 steals=37 overhead=0.8%
+// balance=0.96").
+std::string serve_line(const ServeSummary& s);
+
 }  // namespace hdem::perf

@@ -13,7 +13,13 @@ double wall_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+thread_local int mute_depth = 0;
 }  // namespace
+
+Mute::Mute() { ++mute_depth; }
+Mute::~Mute() { --mute_depth; }
+bool Mute::active() { return mute_depth > 0; }
 
 const char* to_string(Phase p) {
   switch (p) {

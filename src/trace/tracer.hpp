@@ -87,12 +87,29 @@ class Tracer {
   std::vector<Event> events_;
 };
 
+// Thread-local tracing mute.  The serving scheduler (src/serve)
+// multiplexes many independent jobs over one thread team; their phase
+// scopes would interleave meaninglessly in the process-wide timeline, so
+// workers hold a Mute around each job quantum and per-job time lives in
+// the job's own counters instead.  Nestable; muting one thread never
+// affects phases recorded by the others.
+class Mute {
+ public:
+  Mute();
+  ~Mute();
+  static bool active();
+  Mute(const Mute&) = delete;
+  Mute& operator=(const Mute&) = delete;
+};
+
 // RAII scope: records [construction, destruction) for a phase when the
 // global tracer is enabled; near-free otherwise.
 class Scope {
  public:
   Scope(Phase phase, std::int32_t rank = -1)
-      : active_(Tracer::global().enabled()), phase_(phase), rank_(rank) {
+      : active_(Tracer::global().enabled() && !Mute::active()),
+        phase_(phase),
+        rank_(rank) {
     if (active_) t_start_ = Tracer::global().now();
   }
   ~Scope() {

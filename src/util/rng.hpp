@@ -24,9 +24,29 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
 
+  // Stream-split constructor: (seed, stream) selects one of 2^64
+  // decorrelated sequences per seed, so independent jobs multiplexed by
+  // the serving layer can share one scenario seed and still draw
+  // uncorrelated initial conditions.  Stream 0 reproduces Rng(seed)
+  // exactly — existing single-run seeding (and every trajectory derived
+  // from it) stays bit-identical.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    reseed_stream(seed, stream);
+  }
+
   void reseed(std::uint64_t seed) {
     std::uint64_t sm = seed;
     for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  void reseed_stream(std::uint64_t seed, std::uint64_t stream) {
+    // The stream tag goes through splitmix64 before perturbing the seed so
+    // that consecutive stream ids land in unrelated seed-space regions
+    // (seed ^ stream alone would give stream s of seed k the same state as
+    // stream s' of seed k ^ s ^ s' — still fine, but the mixing makes any
+    // such collision require engineering rather than adjacency).
+    std::uint64_t tag = stream;
+    reseed(stream == 0 ? seed : seed ^ splitmix64(tag));
   }
 
   std::uint64_t next_u64() {

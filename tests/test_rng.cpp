@@ -82,6 +82,41 @@ TEST(Rng, SplitMixExpandsDistinctWords) {
   EXPECT_NE(a, b);
 }
 
+TEST(Rng, StreamZeroMatchesPlainSeedExactly) {
+  // The serving layer's contract: stream 0 is the plain Rng(seed)
+  // sequence, so every pre-existing trajectory stays bit-identical.
+  Rng plain(42), split(42, 0);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(plain.next_u64(), split.next_u64());
+  Rng r(9);
+  r.reseed_stream(9, 0);
+  EXPECT_EQ(r.next_u64(), Rng(9).next_u64());
+}
+
+TEST(Rng, StreamsOfOneSeedDecorrelate) {
+  Rng a(42, 1), b(42, 2), base(42, 0);
+  int equal_ab = 0, equal_a0 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto xa = a.next_u64();
+    if (xa == b.next_u64()) ++equal_ab;
+    if (xa == base.next_u64()) ++equal_a0;
+  }
+  EXPECT_LT(equal_ab, 2);
+  EXPECT_LT(equal_a0, 2);
+}
+
+TEST(Rng, StreamSplitIsDeterministic) {
+  Rng a(7, 13), b(7, 13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, AdjacentStreamsNotShiftedSequences) {
+  // seed ^ stream without mixing would make adjacent streams trivially
+  // related; the splitmix64 tag must break that.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 64; ++s) firsts.insert(Rng(5, s).next_u64());
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
 TEST(Rng, ChiSquareBucketsRoughlyUniform) {
   Rng r(21);
   constexpr int kBuckets = 16;
