@@ -10,7 +10,9 @@
 //      results/.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -117,6 +119,86 @@ inline void emit(const std::string& name, const std::string& content) {
   std::fflush(stdout);
   perf::save_artifact(name, content);
 }
+
+// -- JSON emit helpers for the BENCH_*.json artifacts --------------------
+// Escaping and number formatting in one place instead of per-bench
+// ostringstream incantations; non-finite numbers become null so a NaN in
+// a measurement can never produce an unparseable artifact.
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+inline std::string json_bool(bool v) { return v ? "true" : "false"; }
+
+// Comma placement handled once; values arrive already rendered (use
+// json_num/json_str/json_bool or a nested render()).
+class JsonObject {
+ public:
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    os_ << (first_ ? "" : ", ") << json_str(key) << ": " << value;
+    first_ = false;
+    return *this;
+  }
+  JsonObject& num(const std::string& key, double v) {
+    return raw(key, json_num(v));
+  }
+  JsonObject& str(const std::string& key, const std::string& v) {
+    return raw(key, json_str(v));
+  }
+  JsonObject& boolean(const std::string& key, bool v) {
+    return raw(key, json_bool(v));
+  }
+  std::string render() const { return "{" + os_.str() + "}"; }
+
+ private:
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+class JsonArray {
+ public:
+  JsonArray& push(const std::string& value) {
+    os_ << (first_ ? "" : ", ") << value;
+    first_ = false;
+    return *this;
+  }
+  std::string render() const { return "[" + os_.str() + "]"; }
+
+ private:
+  std::ostringstream os_;
+  bool first_ = true;
+};
 
 inline std::string calibration_report(const BenchContext& ctx) {
   Table t({"platform", "t_pair(ns)", "t_pair3(ns)", "t_update(ns)",

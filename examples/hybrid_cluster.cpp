@@ -7,21 +7,68 @@
 // paper's Compaq ES40 cluster.
 //
 //   ./hybrid_cluster [--n=8000] [--steps=60] [--blocks-per-proc=4]
-//                    [--rebalance] [--steal] [--skin=0.3]
+//                    [--rebalance] [--steal] [--skin=0.3] [--auto]
+//
+// With --auto the hybrid leg's rank x thread split is chosen by the
+// fitted per-phase scaling model (perf/tune.hpp) instead of the fixed
+// 2 x 2: the model is fitted from --tune-file (measuring and saving a
+// sweep there first when it does not exist), the top predicted
+// configurations are printed, and the best split of 4 CPUs runs the
+// hybrid leg.  The choice never moves a trajectory bit — every split
+// integrates the same physics.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "core/serial_sim.hpp"
 #include "driver/mp_sim.hpp"
 #include "driver/smp_sim.hpp"
 #include "perf/machine.hpp"
 #include "perf/report.hpp"
+#include "perf/tune.hpp"
 #include "util/cli.hpp"
 #include "util/decomp_cli.hpp"
 #include "util/halo_cli.hpp"
 #include "util/skin_cli.hpp"
+#include "util/tune_cli.hpp"
 
 using namespace hdem;
+
+namespace {
+
+// Load the tune file, or measure a small hybrid-shaped grid over this
+// workload and save it there first.
+perf::FittedModel ensure_hybrid_model(const TuneCliOptions& tune,
+                                      const perf::TuneWorkload& w,
+                                      double skin_v) {
+  const std::string path = tune.tune_file_path("hybrid");
+  if (std::filesystem::exists(path)) {
+    std::printf("auto: fitting scaling model from %s\n", path.c_str());
+    return perf::fit_model(perf::load_tune_rows(path));
+  }
+  std::printf("auto: no tune file at %s; measuring a hybrid sweep...\n",
+              path.c_str());
+  perf::SweepSpec sweep;
+  sweep.workload = w;
+  sweep.skins = {skin_v};
+  sweep.iterations = 6;
+  sweep.warmup = 2;
+  sweep.min_seconds = 0.01;
+  sweep.max_cpus = 4;
+  const auto rows = perf::run_sweep(sweep);
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  out << perf::format_tune_rows(rows);
+  std::printf("auto: saved %zu measurement rows to %s\n", rows.size(),
+              path.c_str());
+  return perf::fit_model(rows);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
@@ -32,6 +79,7 @@ int main(int argc, char** argv) {
   const auto decomp = declare_decomp_options(cli, {4});
   const auto skin = declare_skin_options(cli);
   const auto halo = declare_halo_options(cli);
+  const TuneCliOptions tune = declare_tune_options(cli);
   if (cli.finish()) return 0;
   // Stealing rides the colored reduction; the atomic-family default stays
   // for the plain run so the locked-update column remains meaningful.
@@ -111,12 +159,64 @@ int main(int argc, char** argv) {
                 perf::halo_line(perf::halo_summary(c)).c_str());
   });
 
-  // --- hybrid: 2 ranks ("nodes") x 2 threads each -------------------------
-  const auto hybrid_layout =
-      DecompLayout<2>::make(2, 2 * static_cast<int>(decomp.bpp()));
-  mp::run(2, [&](mp::Comm& comm) {
+  // --- hybrid: ranks x threads over the same 4 CPUs ------------------------
+  // Fixed 2 x 2 by default; with --auto the fitted model ranks the
+  // possible splits and the best predicted one runs.
+  int hybrid_procs = 2;
+  int hybrid_threads = 2;
+  if (tune.auto_mode) {
+    perf::TuneWorkload w;
+    w.n = n;
+    w.velocity_scale = cfg.velocity_scale;
+    const perf::FittedModel fitted = ensure_hybrid_model(tune, w, skin.skin);
+    std::vector<perf::TuneConfig> candidates;
+    for (const auto& [p_c, t_c] : {std::pair{1, 4}, {2, 2}, {4, 1}}) {
+      perf::TuneConfig c;
+      c.nprocs = p_c;
+      c.nthreads = t_c;
+      c.blocks_per_proc = (4 / p_c) * static_cast<int>(decomp.bpp());
+      c.skin = skin.skin;
+      c.skin_cap = skin.skin_cap;
+      c.halo_delta = cfg.halo_delta;
+      c.halo_coalesce = cfg.halo_coalesce;
+      c.steal = decomp.steal;
+      c.rebalance = decomp.rebalance;
+      candidates.push_back(c);
+    }
+    const auto ranked = perf::predict_ranked(fitted, w, candidates);
+    double fit_err = 0.0;
+    int fit_cnt = 0;
+    for (int p = 0; p < perf::FittedModel::kPhaseCount; ++p) {
+      const double e = fitted.mean_rel_error[static_cast<std::size_t>(p)];
+      if (e > 0.0) {
+        fit_err += e;
+        ++fit_cnt;
+      }
+    }
+    if (fit_cnt > 0) fit_err /= fit_cnt;
+    std::printf("\nauto: predicted 4-CPU splits (model mean fit error "
+                "%.0f%%):\n", 1e2 * fit_err);
+    for (const auto& r : ranked) {
+      std::printf("  P=%d T=%d B=%d  step %.2f ms  "
+                  "(force %.2f  rebuild %.2f  halo %.2f  other %.2f)\n",
+                  r.config.nprocs, r.config.nthreads,
+                  r.config.blocks_per_proc, 1e3 * r.step_seconds,
+                  1e3 * r.predicted[perf::FittedModel::kForce],
+                  1e3 * r.predicted[perf::FittedModel::kRebuild],
+                  1e3 * r.predicted[perf::FittedModel::kHalo],
+                  1e3 * r.predicted[perf::FittedModel::kOther]);
+    }
+    hybrid_procs = ranked.front().config.nprocs;
+    hybrid_threads = ranked.front().config.nthreads;
+    std::printf("auto: hybrid leg runs %d rank(s) x %d thread(s)\n\n",
+                hybrid_procs, hybrid_threads);
+  }
+  const auto hybrid_layout = DecompLayout<2>::make(
+      hybrid_procs,
+      (4 / hybrid_procs) * static_cast<int>(decomp.bpp()));
+  mp::run(hybrid_procs, [&](mp::Comm& comm) {
     MpSim<2>::Options opts;
-    opts.nthreads = 2;
+    opts.nthreads = hybrid_threads;
     opts.reduction = reduction;
     opts.steal = decomp.steal;
     opts.rebalance = decomp.rebalance;

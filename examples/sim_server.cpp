@@ -19,6 +19,19 @@
 // With --verify every served trajectory is re-run standalone after the
 // serve and the checkpoint bytes compared — exits nonzero on any mismatch
 // (the CI serving smoke runs this).
+//
+// With --auto the admission path consults the fitted per-phase scaling
+// model (perf/tune.hpp): per job class it picks the inner-thread count
+// (latency classes minimise predicted step time, batch classes predicted
+// CPU-seconds), derives the scheduling quantum from the fastest predicted
+// step, and places batch jobs longest-predicted-first onto the least
+// loaded worker.  The model is fitted from --tune-file when it exists;
+// otherwise a serving-shaped sweep is measured and saved there first, so
+// the next run starts from measurements — the closed loop.  --auto only
+// selects knobs that could equally be passed explicitly (--inner-threads,
+// --quantum-steps), so trajectories are bit-identical either way; the
+// fig15 gate and --verify enforce that.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -27,10 +40,12 @@
 #include <string>
 #include <vector>
 
+#include "perf/tune.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/tune_cli.hpp"
 
 using namespace hdem;
 
@@ -94,6 +109,72 @@ std::vector<serve::JobSpec> synthetic_trace(std::uint64_t jobs,
   return specs;
 }
 
+// The tune-model workload class a job belongs to.
+perf::TuneWorkload job_workload(const serve::JobSpec& spec) {
+  perf::TuneWorkload w;
+  w.scenario = serve::to_string(spec.scenario);
+  w.D = spec.dim;
+  w.n = spec.n;
+  w.velocity_scale = spec.velocity_scale;
+  w.settled_stride = spec.scenario == serve::Scenario::kSettled
+                         ? spec.settled_stride
+                         : 0;
+  w.cluster_fraction = spec.scenario == serve::Scenario::kClustered
+                           ? spec.clustered_fraction
+                           : 1.0;
+  return w;
+}
+
+// Load the tune file, or measure a serving-shaped sweep (P = 1, B = 1,
+// thread counts up to the worker pool, one workload class per distinct
+// trace scenario at its median size) and save it there first.
+perf::FittedModel ensure_serving_model(const TuneCliOptions& tune,
+                                       std::span<const serve::JobSpec> specs,
+                                       int workers) {
+  const std::string path = tune.tune_file_path("serving");
+  if (std::filesystem::exists(path)) {
+    std::printf("auto: fitting scaling model from %s\n", path.c_str());
+    return perf::fit_model(perf::load_tune_rows(path));
+  }
+  std::printf("auto: no tune file at %s; measuring a serving sweep...\n",
+              path.c_str());
+  std::vector<int> threads{1};
+  for (int t = 2; t <= workers; t *= 2) threads.push_back(t);
+  if (workers > 1 && threads.back() != workers) threads.push_back(workers);
+  std::vector<perf::TuneRow> rows;
+  std::vector<serve::Scenario> seen;
+  for (const auto& spec : specs) {
+    if (std::find(seen.begin(), seen.end(), spec.scenario) != seen.end()) {
+      continue;
+    }
+    seen.push_back(spec.scenario);
+    std::vector<std::uint64_t> sizes;
+    for (const auto& s : specs) {
+      if (s.scenario == spec.scenario) sizes.push_back(s.n);
+    }
+    std::sort(sizes.begin(), sizes.end());
+    perf::SweepSpec sweep;
+    sweep.workload = job_workload(spec);
+    sweep.workload.n = sizes[sizes.size() / 2];
+    sweep.procs = {1};
+    sweep.blocks = {1};
+    sweep.threads = threads;
+    sweep.skins = {spec.skin_factor};
+    sweep.iterations = 6;
+    sweep.warmup = 2;
+    sweep.min_seconds = 0.01;
+    const auto swept = perf::run_sweep(sweep);
+    rows.insert(rows.end(), swept.begin(), swept.end());
+  }
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  out << perf::format_tune_rows(rows);
+  std::printf("auto: saved %zu measurement rows to %s\n", rows.size(),
+              path.c_str());
+  return perf::fit_model(rows);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,8 +183,12 @@ int main(int argc, char** argv) {
       cli.integer("jobs", 8, "synthetic trace size (ignored with --trace)"));
   const auto workers = static_cast<int>(
       cli.integer("workers", 2, "thread-team size serving the jobs"));
-  const auto quantum = static_cast<std::uint64_t>(
-      cli.integer("quantum-steps", 32, "steps per scheduling slice"));
+  const auto quantum_opt = static_cast<std::uint64_t>(cli.integer(
+      "quantum-steps", 0,
+      "steps per scheduling slice (0: model-chosen with --auto, else 32)"));
+  const auto inner_threads_opt = static_cast<int>(cli.integer(
+      "inner-threads", 0,
+      "inner team size per job (0: model-chosen with --auto, else 1)"));
   const auto seed = static_cast<std::uint64_t>(
       cli.integer("seed", 12345, "trace-wide scenario seed"));
   const std::string trace_path =
@@ -112,6 +197,7 @@ int main(int argc, char** argv) {
       cli.str("out-dir", "serve_out", "directory for per-job checkpoints");
   const bool verify = cli.flag(
       "verify", "re-run every job standalone and byte-compare checkpoints");
+  const TuneCliOptions tune = declare_tune_options(cli);
   if (cli.finish()) return 0;
 
   auto specs = trace_path.empty() ? synthetic_trace(jobs, seed)
@@ -119,6 +205,86 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   for (auto& spec : specs) {
     spec.checkpoint_path = checkpoint_name(out_dir, spec.job_id);
+    if (inner_threads_opt > 0) spec.inner_threads = inner_threads_opt;
+  }
+
+  // Admission decisions.  placement[i] < 0 means the injector queue (the
+  // default path; interactive jobs always take it so they spread one at a
+  // time across workers).
+  std::vector<int> placement(specs.size(), -1);
+  std::uint64_t quantum = quantum_opt > 0 ? quantum_opt : 32;
+  if (tune.auto_mode) {
+    const perf::FittedModel model =
+        ensure_serving_model(tune, specs, workers);
+    std::vector<perf::ServingChoice> choices(specs.size());
+    std::uint64_t auto_quantum = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& spec = specs[i];
+      const bool latency =
+          spec.deadline == serve::DeadlineClass::kInteractive;
+      choices[i] = perf::choose_serving(model, job_workload(spec),
+                                        spec.skin_factor, latency, workers);
+      if (inner_threads_opt == 0) {
+        specs[i].inner_threads = choices[i].inner_threads;
+      }
+      // The scheduler's quantum is global; the fastest predicted step sets
+      // it so the smallest job still bounds slice latency.
+      if (auto_quantum == 0 || choices[i].quantum_steps < auto_quantum) {
+        auto_quantum = choices[i].quantum_steps;
+      }
+    }
+    if (quantum_opt == 0 && auto_quantum > 0) quantum = auto_quantum;
+
+    // Longest-predicted-first placement of batch jobs onto the least
+    // loaded worker (LPT); predicted wall cost of a job is its predicted
+    // step time times its step budget.
+    std::vector<std::size_t> batch_order;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].deadline == serve::DeadlineClass::kBatch) {
+        batch_order.push_back(i);
+      }
+    }
+    std::stable_sort(batch_order.begin(), batch_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return choices[a].predicted_step_seconds *
+                                  static_cast<double>(specs[a].steps) >
+                              choices[b].predicted_step_seconds *
+                                  static_cast<double>(specs[b].steps);
+                     });
+    std::vector<double> load(static_cast<std::size_t>(workers), 0.0);
+    for (std::size_t i : batch_order) {
+      const auto best = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      placement[i] = best;
+      load[static_cast<std::size_t>(best)] +=
+          choices[i].predicted_step_seconds *
+          static_cast<double>(specs[i].steps);
+    }
+
+    double fit_err = 0.0;
+    int fit_cnt = 0;
+    for (int p = 0; p < perf::FittedModel::kPhaseCount; ++p) {
+      const double e = model.mean_rel_error[static_cast<std::size_t>(p)];
+      if (e > 0.0) {
+        fit_err += e;
+        ++fit_cnt;
+      }
+    }
+    if (fit_cnt > 0) fit_err /= fit_cnt;
+    Table at({"job", "scenario", "class", "n", "threads", "quantum",
+              "pred step(us)", "worker"});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      at.add_row({std::to_string(specs[i].job_id),
+                  to_string(specs[i].scenario),
+                  to_string(specs[i].deadline), std::to_string(specs[i].n),
+                  std::to_string(specs[i].inner_threads),
+                  std::to_string(choices[i].quantum_steps),
+                  Table::num(1e6 * choices[i].predicted_step_seconds, 1),
+                  placement[i] < 0 ? std::string("inject")
+                                   : std::to_string(placement[i])});
+    }
+    std::printf("auto admission decisions (model mean fit error %.0f%%):\n%s\n",
+                1e2 * fit_err, at.render().c_str());
   }
 
   std::printf("serving %zu jobs over %d workers (quantum %llu steps)\n\n",
@@ -129,8 +295,12 @@ int main(int argc, char** argv) {
   serve::Scheduler sched(team, {.quantum_steps = quantum});
   std::vector<std::future<serve::JobResult>> futures;
   futures.reserve(specs.size());
-  for (const auto& spec : specs) {
-    futures.push_back(sched.submit(serve::make_job(spec)));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto job = serve::make_job(specs[i]);
+    futures.push_back(placement[i] >= 0
+                          ? sched.submit_to_worker(placement[i],
+                                                   std::move(job))
+                          : sched.submit(std::move(job)));
   }
   sched.drain();
 

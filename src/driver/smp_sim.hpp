@@ -81,11 +81,17 @@ class SmpSim {
     // PairDisp (not an opaque lambda) lets the batched kernel run its
     // vector gather phase.
     const PairDisp<D> disp = boundary_.pair_disp();
-    potential_ = dispatch_force_pass<D>(acc_, team_, links_, store_, model_,
-                                        disp, &counters_);
-    const double max_v = smp_update_positions(
-        team_, store_, store_.size(), cfg_.dt, cfg_.gravity, boundary_,
-        &counters_);
+    {
+      trace::Scope scope(trace::Phase::kForce);
+      potential_ = dispatch_force_pass<D>(acc_, team_, links_, store_,
+                                          model_, disp, &counters_);
+    }
+    double max_v = 0.0;
+    {
+      trace::Scope scope(trace::Phase::kUpdate);
+      max_v = smp_update_positions(team_, store_, store_.size(), cfg_.dt,
+                                   cfg_.gravity, boundary_, &counters_);
+    }
     drift_.advance(max_v, [&] {
       return max_displacement<D>(store_.cpositions(),
                                  std::span<const Vec<D>>(ref_pos_),

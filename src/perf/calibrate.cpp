@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "util/stats.hpp"
 
@@ -32,6 +33,23 @@ CalibrationResult calibrate(const MachineSpec& base,
     const RunMeasurement& run = obs[r].run;
     if (run.nprocs != 1 || run.nthreads != 1 || run.iterations == 0) {
       throw std::invalid_argument("calibrate: observations must be serial");
+    }
+    // A degenerate observation — an empty measurement window or a
+    // non-positive target — would divide to NaN below and silently fit
+    // zero constants; reject it instead so callers re-measure with a
+    // longer window (MeasureSpec::min_seconds).
+    if (run.agg.force_evals == 0 || run.agg.position_updates == 0) {
+      throw std::invalid_argument(
+          "calibrate: observation " + std::to_string(r) +
+          " has an empty measurement window (zero link/update counts); "
+          "re-run with more iterations or MeasureSpec::min_seconds");
+    }
+    if (!(obs[r].paper_seconds > 0.0) ||
+        !std::isfinite(obs[r].paper_seconds)) {
+      throw std::invalid_argument(
+          "calibrate: observation " + std::to_string(r) +
+          " has a non-positive target time; fitted constants would be "
+          "NaN/0");
     }
     const double count_scale =
         target_particles / static_cast<double>(run.n_global);

@@ -289,4 +289,133 @@ CostBreakdown CostModel::predict(const MachineSpec& machine,
   return out;
 }
 
+// --- FittedModel -----------------------------------------------------------
+
+const char* FittedModel::phase_name(int phase) {
+  switch (phase) {
+    case kForce: return "force";
+    case kRebuild: return "rebuild";
+    case kHalo: return "halo";
+    case kMigrate: return "migrate";
+    case kRebalance: return "rebalance";
+    case kOther: return "other";
+  }
+  return "?";
+}
+
+bool FittedModel::fitted() const {
+  for (const auto& phase : beta) {
+    for (const double b : phase) {
+      if (b != 0.0) return true;
+    }
+  }
+  return false;
+}
+
+double FittedModel::rebuilds_per_step(const TuneWorkload& w,
+                                      double skin) const {
+  const ClassRates* best = nullptr;
+  bool best_scenario_match = false;
+  double best_gap = 0.0;
+  for (const ClassRates& r : rates) {
+    const bool scenario_match = r.scenario == w.scenario;
+    const double gap = std::abs(r.skin - skin);
+    const bool better =
+        best == nullptr ||
+        (scenario_match && !best_scenario_match) ||
+        (scenario_match == best_scenario_match && gap < best_gap);
+    if (better) {
+      best = &r;
+      best_scenario_match = scenario_match;
+      best_gap = gap;
+    }
+  }
+  return best != nullptr ? best->rebuilds_per_step : 1.0;
+}
+
+std::array<double, FittedModel::kFeatureCount> FittedModel::features(
+    int phase, const TuneWorkload& w, const TuneConfig& c,
+    double rebuild_rate) {
+  const double P = static_cast<double>(std::max(c.nprocs, 1));
+  const double T = static_cast<double>(std::max(c.nthreads, 1));
+  const double B = static_cast<double>(std::max(c.blocks_per_proc, 1));
+  const double n_r = static_cast<double>(w.n) / P;  // particles per rank
+  const double rho = std::max(rebuild_rate, 0.0);
+  // Per-rank halo surface: B blocks, each exposing (n_b)^((D-1)/D)
+  // boundary particles in dimension D.
+  const double exponent = (static_cast<double>(w.D) - 1.0) / w.D;
+  const double surface = B * std::pow(std::max(n_r / B, 1.0), exponent);
+  // Only inter-rank sides hit the wire: blocks within a rank exchange by
+  // local copies, so the wire payload scales with the rank-interface area
+  // (B-independent), not the total block boundary above.
+  const double interface = std::pow(std::max(n_r, 1.0), exponent);
+  // A skin widens the candidate cutoff to rc·(1+skin): the pair kernel
+  // walks ~(1+skin)^D more candidate links per step and halo slabs /
+  // templates widen by (1+skin).  Without these factors the fit would
+  // average force cost across skin values and conclude a skin only
+  // removes rebuilds — and the tuner would always pick the widest one.
+  const double skin = std::max(c.skin, 0.0);
+  const double link_gain = std::pow(1.0 + skin, static_cast<double>(w.D));
+  const double slab_gain = 1.0 + skin;
+  const bool decomposed = c.nprocs > 1;
+  std::array<double, kFeatureCount> f{};
+  switch (phase) {
+    case kForce:
+      // Parallel pair work, serial-fraction pair work, per-step constant,
+      // per-extra-thread overhead (sync + contention).
+      f = {link_gain * n_r / T, link_gain * n_r, 1.0, T - 1.0};
+      break;
+    case kRebuild:
+      // Rebuild pipeline amortised by the measured rebuild rate: parallel
+      // and serial per-particle shares, per-rebuild constant, halo-template
+      // work on the block surface.
+      f = {rho * link_gain * n_r / T, rho * link_gain * n_r, rho,
+           rho * slab_gain * surface};
+      break;
+    case kHalo:
+      // Bytes move with the (skin-widened) rank interface, message count
+      // with the side count (2 sides per dim per block).  The /T² term is
+      // empirical: a hybrid team packs in parallel AND overlaps the post
+      // with force work, so the traced swap collapses faster than 1/T.
+      if (decomposed) {
+        f = {slab_gain * interface, 2.0 * w.D * B,
+             slab_gain * interface / (T * T), 1.0};
+      }
+      break;
+    case kMigrate:
+      // Movers are scanned per rebuild; the migrating set scales with the
+      // surface; plus a per-rebuild constant.
+      if (decomposed) f = {rho * n_r, rho * slab_gain * surface, rho, 0.0};
+      break;
+    case kRebalance:
+      // Cost exchange grows with P, the handoff with the local count.
+      if (decomposed && c.rebalance) f = {rho * P, rho * n_r, rho, 0.0};
+      break;
+    case kOther:
+      // Collectives, scheduling slack and the untraced remainder: per-step
+      // constant plus per-thread, per-rank and per-particle shares.
+      f = {1.0, T - 1.0, P - 1.0, n_r};
+      break;
+    default:
+      break;
+  }
+  return f;
+}
+
+FittedModel::Phases FittedModel::predict(const TuneWorkload& w,
+                                         const TuneConfig& c) const {
+  const double rho = rebuilds_per_step(w, c.skin);
+  Phases out;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const auto f = features(p, w, c, rho);
+    double t = 0.0;
+    for (int j = 0; j < kFeatureCount; ++j) {
+      t += beta[static_cast<std::size_t>(p)][static_cast<std::size_t>(j)] *
+           f[static_cast<std::size_t>(j)];
+    }
+    out[p] = t;
+  }
+  return out;
+}
+
 }  // namespace hdem::perf

@@ -8,6 +8,7 @@
 // with P, T and B — never from per-figure special cases.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -142,6 +143,112 @@ class CostModel {
 // matrices) already reflects this fraction, since the matrices record what
 // actually moved.
 double halo_change_fraction(const RunMeasurement& run);
+
+// ---------------------------------------------------------------------------
+// Fitted per-phase scaling model (closed-loop auto-tuning, DESIGN §3.10).
+//
+// CostModel prices *measured counters* with MachineSpec constants; the
+// FittedModel goes the other way around.  A sweep (perf/tune) measures
+// per-phase step times over an (N, P, T, B, skin) grid on *this* host and
+// each phase's coefficients are least-squares-fitted (perf/fit.hpp) to
+// analytic features of the configuration.  Prediction then needs no
+// counters — just a workload description and a candidate configuration —
+// which is what lets the serving layer rank configurations before a job
+// has ever run.  Because the coefficients come from this host's own
+// measurements, the model automatically absorbs host realities the
+// MachineSpec constants can't know (an oversubscribed CI runner where
+// extra threads buy nothing fits a near-zero 1/T term, so the tuner
+// correctly picks T = 1 there).
+
+// Workload class the tuner predicts for.  Mirrors serve::JobSpec's
+// scenario vocabulary by name (perf cannot depend on serve).
+struct TuneWorkload {
+  std::string scenario = "uniform";  // uniform | clustered | settled
+  int D = 2;
+  std::uint64_t n = 4000;
+  double rc_factor = 1.5;
+  double velocity_scale = 0.05;
+  std::uint64_t settled_stride = 0;  // settled: every stride-th moves
+  double cluster_fraction = 1.0;     // clustered: occupied box fraction
+};
+
+// Candidate knob assignment the tuner ranks: the full effective SimConfig
+// knob set of a run, so every emitted measurement row is reproducible from
+// its own fields.
+struct TuneConfig {
+  int nprocs = 1;
+  int nthreads = 1;
+  int blocks_per_proc = 1;
+  double skin = 0.0;
+  double skin_cap = -1.0;
+  bool halo_delta = false;
+  bool halo_coalesce = false;
+  bool overlap = false;
+  bool steal = false;
+  bool rebalance = false;
+  bool reorder = true;
+};
+
+class FittedModel {
+ public:
+  enum Phase : int {
+    kForce = 0,  // force accumulation + position update
+    kRebuild,    // list rebuild pipeline + halo templates (amortised)
+    kHalo,       // halo exchange, wire + shared-window paths
+    kMigrate,    // particle re-homing at rebuilds
+    kRebalance,  // cost exchange + repartition + handoff
+    kOther,      // collectives, scheduling slack, untraced remainder
+    kPhaseCount
+  };
+  static constexpr int kFeatureCount = 4;
+  static const char* phase_name(int phase);
+
+  // Predicted seconds per step, by phase.
+  struct Phases {
+    std::array<double, kPhaseCount> seconds{};
+    double& operator[](int p) { return seconds[static_cast<std::size_t>(p)]; }
+    double operator[](int p) const {
+      return seconds[static_cast<std::size_t>(p)];
+    }
+    double total() const {
+      double t = 0.0;
+      for (const double s : seconds) t += s;
+      return t;
+    }
+  };
+
+  // Measured auxiliary rates per (scenario, skin) class.  The rebuild rate
+  // closes the loop between workload and features: a settled bed under a
+  // skin rebuilds orders of magnitude less often than a hot gas at skin 0,
+  // and every rebuild-coupled term scales with that rate.
+  struct ClassRates {
+    std::string scenario;
+    double skin = 0.0;
+    double rebuilds_per_step = 1.0;
+    double imbalance = 1.0;  // per-rank traced-work spread, max/mean
+  };
+
+  std::array<std::array<double, kFeatureCount>, kPhaseCount> beta{};
+  // In-sample mean relative error per phase, recorded at fit time.
+  std::array<double, kPhaseCount> mean_rel_error{};
+  std::vector<ClassRates> rates;
+
+  bool fitted() const;
+
+  // Expected rebuilds per step for a workload at a given skin: exact
+  // (scenario, nearest-skin) class match, falling back to the nearest
+  // class of any scenario, then to 1 (rebuild every step — conservative).
+  double rebuilds_per_step(const TuneWorkload& w, double skin) const;
+
+  // The per-phase analytic feature vector; shared by fitting and
+  // prediction so the two can never drift apart.
+  static std::array<double, kFeatureCount> features(int phase,
+                                                    const TuneWorkload& w,
+                                                    const TuneConfig& c,
+                                                    double rebuild_rate);
+
+  Phases predict(const TuneWorkload& w, const TuneConfig& c) const;
+};
 
 // Convenience: speedup/efficiency bookkeeping used by the figure benches.
 inline double efficiency(double t_ref, double p_ref, double t, double p) {

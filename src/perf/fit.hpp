@@ -1,0 +1,207 @@
+// Per-phase least-squares fitting for the closed-loop auto-tuner.
+//
+// perf/tune measures per-phase step times over an (N, P, T, B, skin)
+// grid; each phase's coefficients are fitted here against analytic
+// features of the configuration (FittedModel::features).  The solver is
+// the library's non-negative least squares (util/stats), wrapped with two
+// things the raw solver lacks:
+//
+//   * column normalisation, so the projected coordinate descent converges
+//     at the same rate whether a feature counts particles (1e4) or
+//     barrier episodes (1e0), and
+//   * rank-deficiency detection: a grid that never varies a feature
+//     independently (say, a sweep with one fixed P, where n/P is a
+//     constant multiple of the intercept column) cannot identify that
+//     feature's coefficient.  fit_phase rejects such designs with a clear
+//     std::invalid_argument naming the offending column; fit_model
+//     (perf/tune) instead prunes the dependent columns and fits the
+//     identifiable subset.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hdem::perf {
+
+struct PhaseFit {
+  std::vector<double> beta;     // one coefficient per feature column
+  double mean_rel_error = 0.0;  // in-sample, over rows with a real target
+  double max_rel_error = 0.0;
+};
+
+// keep[j] is false when column j of the row-major nrows x ncols design is
+// identically zero or (numerically) a linear combination of the kept
+// columns before it.  Detection runs an incremental Cholesky on the Gram
+// matrix of the column-normalised design: a pivot below `tol` means the
+// candidate column's residual, after projecting onto the kept span, is a
+// negligible fraction of its own norm.
+inline std::vector<bool> independent_column_mask(
+    const std::vector<double>& x, std::size_t nrows, std::size_t ncols,
+    double tol = 1e-8) {
+  std::vector<double> gram(ncols * ncols, 0.0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const double xi = x[r * ncols + i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = 0; j <= i; ++j) {
+        gram[i * ncols + j] += xi * x[r * ncols + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ncols; ++i) {
+    for (std::size_t j = i + 1; j < ncols; ++j) {
+      gram[i * ncols + j] = gram[j * ncols + i];
+    }
+  }
+  std::vector<double> scale(ncols, 0.0);
+  for (std::size_t j = 0; j < ncols; ++j) {
+    scale[j] = std::sqrt(gram[j * ncols + j]);
+  }
+  std::vector<bool> keep(ncols, true);
+  std::vector<std::vector<double>> lrows;  // Cholesky rows over kept columns
+  std::vector<std::size_t> kept;
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (!(scale[j] > 0.0) || !std::isfinite(scale[j])) {
+      keep[j] = false;
+      continue;
+    }
+    std::vector<double> lj(kept.size(), 0.0);
+    double pivot = 1.0;  // normalised diagonal G_jj
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      double g = gram[j * ncols + kept[k]] / (scale[j] * scale[kept[k]]);
+      for (std::size_t m = 0; m < k; ++m) g -= lj[m] * lrows[k][m];
+      lj[k] = g / lrows[k][k];
+      pivot -= lj[k] * lj[k];
+    }
+    if (pivot < tol) {
+      keep[j] = false;
+      continue;
+    }
+    lj.push_back(std::sqrt(pivot));
+    lrows.push_back(std::move(lj));
+    kept.push_back(j);
+  }
+  return keep;
+}
+
+// Fit beta >= 0 minimising ||X beta - y|| over the row-major design.
+// Strict: throws std::invalid_argument when the design cannot identify
+// every coefficient (fewer rows than columns, a zero column, or a column
+// that is a linear combination of earlier ones over this grid).
+inline PhaseFit fit_phase(const std::vector<double>& x, std::size_t nrows,
+                          std::size_t ncols, const std::vector<double>& y) {
+  if (nrows == 0 || ncols == 0) {
+    throw std::invalid_argument("fit_phase: empty design");
+  }
+  if (x.size() != nrows * ncols || y.size() != nrows) {
+    throw std::invalid_argument("fit_phase: design/target shape mismatch");
+  }
+  if (nrows < ncols) {
+    throw std::invalid_argument(
+        "fit_phase: rank-deficient design: " + std::to_string(nrows) +
+        " row(s) cannot identify " + std::to_string(ncols) +
+        " coefficients; widen the sweep grid");
+  }
+  const auto keep = independent_column_mask(x, nrows, ncols);
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (!keep[j]) {
+      throw std::invalid_argument(
+          "fit_phase: rank-deficient design: feature column " +
+          std::to_string(j) +
+          " is identically zero or a linear combination of earlier columns "
+          "over this grid; widen the sweep so every feature varies "
+          "independently");
+    }
+  }
+  // Normalise columns to unit RMS so the coordinate descent is
+  // well-conditioned, then undo the scaling on the coefficients.
+  std::vector<double> scale(ncols, 0.0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t j = 0; j < ncols; ++j) {
+      const double v = x[r * ncols + j];
+      scale[j] += v * v;
+    }
+  }
+  for (std::size_t j = 0; j < ncols; ++j) {
+    scale[j] = std::sqrt(scale[j] / static_cast<double>(nrows));
+  }
+  std::vector<double> xn(x.size());
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t j = 0; j < ncols; ++j) {
+      xn[r * ncols + j] = x[r * ncols + j] / scale[j];
+    }
+  }
+  PhaseFit fit;
+  fit.beta = nonneg_least_squares(xn, nrows, ncols, y);
+  for (std::size_t j = 0; j < ncols; ++j) fit.beta[j] /= scale[j];
+
+  // In-sample error over rows whose target is a non-trivial fraction of
+  // the largest one (near-zero targets would turn into meaningless
+  // relative errors).
+  double ymax = 0.0;
+  for (const double v : y) ymax = std::max(ymax, std::abs(v));
+  const double floor = 1e-9 * ymax;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    if (!(std::abs(y[r]) > floor)) continue;
+    double pred = 0.0;
+    for (std::size_t j = 0; j < ncols; ++j) {
+      pred += x[r * ncols + j] * fit.beta[j];
+    }
+    const double rel = std::abs(pred - y[r]) / std::abs(y[r]);
+    sum += rel;
+    fit.max_rel_error = std::max(fit.max_rel_error, rel);
+    ++counted;
+  }
+  fit.mean_rel_error = counted ? sum / static_cast<double>(counted) : 0.0;
+  return fit;
+}
+
+// Robust variant used by fit_model: dependent columns are dropped (their
+// coefficient reported as zero) instead of rejected, so a legitimate but
+// narrow grid — a serving sweep that only varies T, say — still yields a
+// usable fit over the identifiable features.  Returns the fit over the
+// full column set plus which columns survived.
+struct PrunedPhaseFit {
+  PhaseFit fit;
+  std::vector<bool> kept;
+};
+
+inline PrunedPhaseFit fit_phase_pruned(const std::vector<double>& x,
+                                       std::size_t nrows, std::size_t ncols,
+                                       const std::vector<double>& y) {
+  PrunedPhaseFit out;
+  out.kept = independent_column_mask(x, nrows, ncols);
+  // Never keep more columns than rows: the trailing ones are unidentifiable.
+  std::size_t nkept = 0;
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (out.kept[j] && nkept == nrows) out.kept[j] = false;
+    if (out.kept[j]) ++nkept;
+  }
+  out.fit.beta.assign(ncols, 0.0);
+  if (nkept == 0 || nrows == 0) return out;
+  std::vector<double> xs(nrows * nkept);
+  std::vector<std::size_t> cols;
+  cols.reserve(nkept);
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (out.kept[j]) cols.push_back(j);
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t k = 0; k < nkept; ++k) {
+      xs[r * nkept + k] = x[r * ncols + cols[k]];
+    }
+  }
+  const PhaseFit sub = fit_phase(xs, nrows, nkept, y);
+  for (std::size_t k = 0; k < nkept; ++k) out.fit.beta[cols[k]] = sub.beta[k];
+  out.fit.mean_rel_error = sub.mean_rel_error;
+  out.fit.max_rel_error = sub.max_rel_error;
+  return out;
+}
+
+}  // namespace hdem::perf

@@ -22,6 +22,7 @@
 #include "driver/smp_sim.hpp"
 #include "mp/comm.hpp"
 #include "perf/cost_model.hpp"
+#include "trace/tracer.hpp"
 #include "util/simd.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +84,16 @@ struct MeasureSpec {
   std::uint64_t warmup = 1;
   std::uint64_t iterations = 4;
   std::uint64_t seed = 12345;
+  // Per-phase tracing for the tune sweep: the global tracer is cleared
+  // after warmup (behind a barrier on the mp paths) so the recorded events
+  // cover exactly the measured window.  The caller owns enabling
+  // trace::Tracer::global() and reading its events afterwards.
+  bool trace = false;
+  // Minimum wall-clock for the measured window: when > 0, measure_run
+  // re-runs with a doubled iteration count until the window spans this
+  // many seconds, so a fast host can never return a zero-duration (and
+  // hence NaN-producing) measurement.
+  double min_seconds = 0.0;
 };
 
 // RunMeasurement plus the host wall-clock for the measured window.
@@ -144,6 +155,7 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       SerialSim<D> sim(cfg, model, init);
       // Settle into the steady state.
       for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
+      if (spec.trace) trace::Tracer::global().clear();
       const Counters before = sim.counters();
       Timer timer;
       sim.run(spec.iterations);
@@ -157,6 +169,7 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       SmpSim<D> sim(cfg, model, init, spec.nthreads, spec.reduction,
                     spec.steal);
       for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
+      if (spec.trace) trace::Tracer::global().clear();
       const Counters before = sim.counters();
       Timer timer;
       sim.run(spec.iterations);
@@ -189,6 +202,13 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
       mp::run(p, [&](mp::Comm& comm) {
         MpSim<D> sim(cfg, layout, comm, model, init, opts);
         for (std::uint64_t w = 0; w < spec.warmup; ++w) sim.step();
+        if (spec.trace) {
+          // Fence so no rank's warmup events land after the wipe and no
+          // measured event is wiped.
+          comm.barrier();
+          if (comm.rank() == 0) trace::Tracer::global().clear();
+          comm.barrier();
+        }
         const Counters before = sim.counters();
         const auto bytes_before = comm.bytes_to();
         const auto msgs_before = comm.msgs_to();
@@ -224,9 +244,21 @@ MeasuredRun measure_impl(const MeasureSpec& spec) {
 }  // namespace detail
 
 inline MeasuredRun measure_run(const MeasureSpec& spec) {
-  if (spec.D == 2) return detail::measure_impl<2>(spec);
-  if (spec.D == 3) return detail::measure_impl<3>(spec);
-  throw std::invalid_argument("measure_run: D must be 2 or 3");
+  if (spec.D != 2 && spec.D != 3) {
+    throw std::invalid_argument("measure_run: D must be 2 or 3");
+  }
+  MeasureSpec s = spec;
+  for (;;) {
+    const MeasuredRun out = s.D == 2 ? detail::measure_impl<2>(s)
+                                     : detail::measure_impl<3>(s);
+    // Minimum-duration re-run: double the window until the host clock can
+    // resolve it (bounded so a pathological min_seconds cannot spin).
+    if (s.min_seconds <= 0.0 || out.host_seconds >= s.min_seconds ||
+        s.iterations >= (1ull << 22)) {
+      return out;
+    }
+    s.iterations = s.iterations ? s.iterations * 2 : 1;
+  }
 }
 
 }  // namespace hdem::perf

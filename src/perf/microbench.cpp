@@ -18,50 +18,75 @@
 
 namespace hdem::perf {
 
+namespace {
+
+// Minimum wall-clock for one timing window.  A fixed repetition count can
+// complete faster than the clock resolves on a fast machine, which used to
+// produce 0 (and NaN downstream in the fitted constants); every block now
+// doubles its repetition count until the window is measurable.
+constexpr double kMinWindowSeconds = 1e-4;
+constexpr int kMaxRepetitions = 1 << 24;
+
+// Run body(reps) with a doubling repetition count until the window spans
+// kMinWindowSeconds; returns the per-repetition cost, never 0 or NaN.
+template <class Body>
+double timed_per_rep(int repetitions, Body&& body) {
+  int reps = std::max(repetitions, 1);
+  for (;;) {
+    Timer t;
+    body(reps);
+    const double secs = t.seconds();
+    if (secs >= kMinWindowSeconds || reps >= kMaxRepetitions) {
+      return std::max(secs, 1e-12) / static_cast<double>(reps);
+    }
+    reps *= 2;
+  }
+}
+
+}  // namespace
+
 SyncOverheads measure_sync_overheads(int threads, int repetitions) {
   smp::ThreadTeam team(threads);
   SyncOverheads o;
   o.threads = threads;
-  const double reps = static_cast<double>(repetitions);
 
-  {  // empty parallel region (fork + join)
-    Timer t;
-    for (int r = 0; r < repetitions; ++r) {
-      team.parallel([](int) {});
-    }
-    o.fork_join = t.seconds() / reps;
-  }
-  {  // empty static-schedule parallel_for
-    Timer t;
-    for (int r = 0; r < repetitions; ++r) {
+  // empty parallel region (fork + join)
+  o.fork_join = timed_per_rep(repetitions, [&](int reps) {
+    for (int r = 0; r < reps; ++r) team.parallel([](int) {});
+  });
+  // empty static-schedule parallel_for
+  o.parallel_for = timed_per_rep(repetitions, [&](int reps) {
+    for (int r = 0; r < reps; ++r) {
       team.parallel_for(0, threads, [](int, std::int64_t, std::int64_t) {});
     }
-    o.parallel_for = t.seconds() / reps;
-  }
-  {  // barrier episodes inside one region
-    Timer t;
+  });
+  // barrier episodes inside one region
+  o.barrier = timed_per_rep(repetitions, [&](int reps) {
     team.parallel([&](int) {
-      for (int r = 0; r < repetitions; ++r) team.barrier();
+      for (int r = 0; r < reps; ++r) team.barrier();
     });
-    o.barrier = t.seconds() / reps;
-  }
+  });
   {  // critical-section entries (every thread competes)
     volatile double sink = 0.0;
-    Timer t;
-    team.parallel([&](int) {
-      for (int r = 0; r < repetitions; ++r) {
-        team.critical([&] { sink = sink + 1.0; });
-      }
-    });
-    o.critical = t.seconds() / (reps * threads);
+    o.critical = timed_per_rep(repetitions, [&](int reps) {
+                   team.parallel([&](int) {
+                     for (int r = 0; r < reps; ++r) {
+                       team.critical([&] { sink = sink + 1.0; });
+                     }
+                   });
+                 }) /
+                 threads;
   }
   {  // contended atomic accumulation
     alignas(64) double target = 0.0;
-    Timer t;
-    team.parallel([&](int) {
-      for (int r = 0; r < repetitions; ++r) smp::atomic_add(target, 1.0);
-    });
-    o.atomic_add = t.seconds() / (reps * threads);
+    o.atomic_add = timed_per_rep(repetitions, [&](int reps) {
+                     team.parallel([&](int) {
+                       for (int r = 0; r < reps; ++r) {
+                         smp::atomic_add(target, 1.0);
+                       }
+                     });
+                   }) /
+                   threads;
   }
   return o;
 }
@@ -118,17 +143,20 @@ KernelThroughput measure_kernel_throughput(std::size_t nparticles,
     double best = 1e300;
     for (int r = 0; r < repetitions; ++r) {
       std::fill(frc.begin(), frc.end(), Vec<D>{});
-      std::uint64_t contacts = 0;
-      Timer t;
-      const double pe = batched_pair_links<D>(
-          lspan, pspan, vspan, model, disp, true, 1.0, contacts,
-          [&](std::int32_t p, const Vec<D>& f) {
-            frc[static_cast<std::size_t>(p)] += f;
-          });
-      const double secs = t.seconds();
-      volatile double guard = pe + frc[0][0];
-      (void)guard;
-      best = std::min(best, secs);
+      // One pass can undercut the clock resolution for small systems;
+      // repeat it inside the window until the timing is measurable.
+      best = std::min(best, timed_per_rep(1, [&](int reps) {
+               for (int k = 0; k < reps; ++k) {
+                 std::uint64_t contacts = 0;
+                 const double pe = batched_pair_links<D>(
+                     lspan, pspan, vspan, model, disp, true, 1.0, contacts,
+                     [&](std::int32_t p, const Vec<D>& f) {
+                       frc[static_cast<std::size_t>(p)] += f;
+                     });
+                 volatile double guard = pe + frc[0][0];
+                 (void)guard;
+               }
+             }));
     }
     return best;
   };

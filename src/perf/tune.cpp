@@ -1,0 +1,486 @@
+#include "perf/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "perf/fit.hpp"
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "perf/report.hpp"
+#include "trace/tracer.hpp"
+
+namespace hdem::perf {
+
+namespace {
+
+MeasureSpec to_measure_spec(const TuneWorkload& w, const TuneConfig& c,
+                            std::uint64_t iterations, std::uint64_t warmup,
+                            double min_seconds) {
+  MeasureSpec s;
+  s.D = w.D;
+  s.n = w.n;
+  s.rc_factor = w.rc_factor;
+  s.velocity_scale = w.velocity_scale;
+  if (w.scenario == "settled") {
+    s.settled_stride = w.settled_stride > 0 ? w.settled_stride : 16;
+    s.settled_speed = w.velocity_scale;
+  } else if (w.scenario == "clustered") {
+    s.cluster_fraction = w.cluster_fraction < 1.0 ? w.cluster_fraction : 0.5;
+  } else if (w.scenario != "uniform") {
+    throw std::invalid_argument("tune: unknown scenario '" + w.scenario + "'");
+  }
+  s.reorder = c.reorder;
+  s.nprocs = c.nprocs;
+  s.nthreads = c.nthreads;
+  s.blocks_per_proc = c.blocks_per_proc;
+  s.skin = c.skin;
+  s.skin_cap = c.skin_cap;
+  s.halo_delta = c.halo_delta;
+  s.halo_coalesce = c.halo_coalesce;
+  s.overlap = c.overlap;
+  s.steal = c.steal;
+  s.rebalance = c.rebalance;
+  if (c.nprocs > 1) {
+    s.mode = c.nthreads > 1 ? MeasureSpec::Mode::kHybrid
+                            : MeasureSpec::Mode::kMp;
+  } else {
+    s.mode = c.nthreads > 1 ? MeasureSpec::Mode::kSmp
+                            : MeasureSpec::Mode::kSerial;
+  }
+  // The serving layer's production reduction: bit-identical at any team
+  // size, and the only one the stealing path supports.
+  s.reduction = ReductionKind::kColored;
+  s.warmup = warmup;
+  s.iterations = iterations;
+  s.min_seconds = min_seconds;
+  s.trace = true;
+  return s;
+}
+
+// Per-phase and per-rank aggregation of one traced window.
+struct PhaseTotals {
+  double by_phase[trace::kPhaseCount] = {};
+  std::map<std::int32_t, double> compute_by_rank;  // force+update seconds
+};
+
+PhaseTotals aggregate(const std::vector<trace::Event>& events) {
+  PhaseTotals t;
+  for (const trace::Event& e : events) {
+    const double dt = e.t_end - e.t_start;
+    t.by_phase[static_cast<int>(e.phase)] += dt;
+    if (e.phase == trace::Phase::kForce || e.phase == trace::Phase::kUpdate) {
+      t.compute_by_rank[e.rank] += dt;
+    }
+  }
+  return t;
+}
+
+double phase_total(const PhaseTotals& t, trace::Phase p) {
+  return t.by_phase[static_cast<int>(p)];
+}
+
+}  // namespace
+
+TuneRow measure_tune_point(const TuneWorkload& w, const TuneConfig& c,
+                           std::uint64_t iterations, std::uint64_t warmup,
+                           double min_seconds, int reps) {
+  auto& tracer = trace::Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  TuneRow best;
+  bool have = false;
+  for (int rep = 0; rep < std::max(reps, 1); ++rep) {
+    tracer.enable(true);  // resets epoch and wipes prior events
+    const MeasuredRun out = measure_run(
+        to_measure_spec(w, c, iterations, warmup, min_seconds));
+    const PhaseTotals totals = aggregate(tracer.events());
+    tracer.enable(false);
+
+    TuneRow row;
+    row.workload = w;
+    row.config = c;
+    row.simd_width = out.run.simd_width;
+    row.iterations = out.run.iterations;
+    const double iters = static_cast<double>(
+        out.run.iterations ? out.run.iterations : 1);
+    const double ranks = static_cast<double>(std::max(out.run.nprocs, 1));
+    const double per_step = 1.0 / (ranks * iters);  // mean over ranks
+    row.step_seconds = out.host_seconds / iters;
+    row.force_s = (phase_total(totals, trace::Phase::kForce) +
+                   phase_total(totals, trace::Phase::kUpdate)) *
+                  per_step;
+    row.rebuild_s = (phase_total(totals, trace::Phase::kLinkBuild) +
+                     phase_total(totals, trace::Phase::kHaloBuild)) *
+                    per_step;
+    row.halo_wire_s = phase_total(totals, trace::Phase::kHaloSwap) * per_step;
+    // Arrival slack, not comm work: kept out of the named sum so other_s
+    // (the slack phase the fit prices per rank/thread) absorbs it.
+    row.halo_wait_s = phase_total(totals, trace::Phase::kHaloWait) * per_step;
+    row.halo_shared_s =
+        phase_total(totals, trace::Phase::kHaloShared) * per_step;
+    row.migrate_s = phase_total(totals, trace::Phase::kMigrate) * per_step;
+    row.rebalance_s =
+        phase_total(totals, trace::Phase::kRebalance) * per_step;
+    const double named = row.force_s + row.rebuild_s + row.halo_wire_s +
+                         row.halo_shared_s + row.migrate_s + row.rebalance_s;
+    row.other_s = std::max(0.0, row.step_seconds - named);
+    row.rebuilds_per_step =
+        static_cast<double>(out.run.agg.rebuilds) / (ranks * iters);
+    if (totals.compute_by_rank.size() > 1) {
+      double sum = 0.0, peak = 0.0;
+      for (const auto& [rank, secs] : totals.compute_by_rank) {
+        sum += secs;
+        peak = std::max(peak, secs);
+      }
+      if (sum > 0.0) {
+        row.imbalance =
+            peak * static_cast<double>(totals.compute_by_rank.size()) / sum;
+      }
+    }
+    if (!have || row.step_seconds < best.step_seconds) {
+      best = row;
+      have = true;
+    }
+  }
+  tracer.enable(was_enabled);
+  return best;
+}
+
+std::vector<TuneRow> run_sweep(const SweepSpec& spec) {
+  std::vector<TuneConfig> grid;
+  for (const int p : spec.procs) {
+    for (const int t : spec.threads) {
+      if (spec.max_cpus > 0 && p * t > spec.max_cpus) continue;
+      for (const int b : spec.blocks) {
+        // blocks_per_proc only shapes decomposed runs; measuring the same
+        // undecomposed point once per B would just duplicate rows.
+        if (p == 1 && b != spec.blocks.front()) continue;
+        for (const double skin : spec.skins) {
+          TuneConfig c;
+          c.nprocs = p;
+          c.nthreads = t;
+          c.blocks_per_proc = p == 1 ? 1 : b;
+          c.skin = skin;
+          c.halo_delta = spec.halo_delta;
+          c.halo_coalesce = spec.halo_coalesce;
+          c.overlap = spec.overlap;
+          c.steal = spec.steal;
+          c.rebalance = spec.rebalance;
+          c.reorder = spec.reorder;
+          grid.push_back(c);
+        }
+      }
+    }
+  }
+  // Interleave repetitions across the grid (rep-major, not config-major):
+  // a noisy epoch on a shared host then degrades one rep of every config
+  // instead of every rep of one config, and keep-fastest recovers.
+  std::vector<TuneRow> rows(grid.size());
+  for (int rep = 0; rep < std::max(spec.reps, 1); ++rep) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      TuneRow row = measure_tune_point(spec.workload, grid[i], spec.iterations,
+                                       spec.warmup, spec.min_seconds, 1);
+      if (rep == 0 || row.step_seconds < rows[i].step_seconds) {
+        rows[i] = row;
+      }
+    }
+  }
+  return rows;
+}
+
+// --- serialisation ---------------------------------------------------------
+
+namespace {
+
+const char* const kColumns[] = {
+    "scenario",   "D",          "n",           "rc",         "velocity",
+    "stride",     "cluster",    "P",           "T",          "B",
+    "skin",       "skin_cap",   "halo_delta",  "halo_coalesce",
+    "overlap",    "steal",      "rebalance",   "reorder",    "simd",
+    "iters",      "rebuild_rate", "imbalance", "force_s",    "rebuild_s",
+    "halo_wire_s", "halo_shared_s", "halo_wait_s", "migrate_s",
+    "rebalance_s", "other_s",  "step_s",
+};
+constexpr std::size_t kColumnCount = sizeof(kColumns) / sizeof(kColumns[0]);
+
+}  // namespace
+
+std::string format_tune_rows(std::span<const TuneRow> rows) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "# hdem-tune v1\n";
+  os << "# " << machine_report(generic_host()) << "\n";
+  os << "# per-phase *_s columns: seconds per step, mean over ranks; step_s:"
+        " slowest rank's wall per step\n";
+  os << "# columns:";
+  for (const char* c : kColumns) os << ' ' << c;
+  os << '\n';
+  for (const TuneRow& r : rows) {
+    os << r.workload.scenario << ' ' << r.workload.D << ' ' << r.workload.n
+       << ' ' << r.workload.rc_factor << ' ' << r.workload.velocity_scale
+       << ' ' << r.workload.settled_stride << ' '
+       << r.workload.cluster_fraction << ' ' << r.config.nprocs << ' '
+       << r.config.nthreads << ' ' << r.config.blocks_per_proc << ' '
+       << r.config.skin << ' ' << r.config.skin_cap << ' '
+       << (r.config.halo_delta ? 1 : 0) << ' '
+       << (r.config.halo_coalesce ? 1 : 0) << ' '
+       << (r.config.overlap ? 1 : 0) << ' ' << (r.config.steal ? 1 : 0)
+       << ' ' << (r.config.rebalance ? 1 : 0) << ' '
+       << (r.config.reorder ? 1 : 0) << ' ' << r.simd_width << ' '
+       << r.iterations << ' ' << r.rebuilds_per_step << ' ' << r.imbalance
+       << ' ' << r.force_s << ' ' << r.rebuild_s << ' ' << r.halo_wire_s
+       << ' ' << r.halo_shared_s << ' ' << r.halo_wait_s << ' '
+       << r.migrate_s << ' ' << r.rebalance_s << ' ' << r.other_s << ' '
+       << r.step_seconds << '\n';
+  }
+  return os.str();
+}
+
+std::vector<TuneRow> parse_tune_rows(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<TuneRow> rows;
+  while (std::getline(in, line)) {
+    if (line.rfind("# columns:", 0) == 0) {
+      std::istringstream hs(line.substr(10));
+      std::string name;
+      names.clear();
+      while (hs >> name) names.push_back(name);
+      continue;
+    }
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+    if (names.empty()) {
+      throw std::invalid_argument(
+          "parse_tune_rows: data before the '# columns:' header");
+    }
+    if (tokens.size() < names.size()) {
+      throw std::invalid_argument(
+          "parse_tune_rows: row has " + std::to_string(tokens.size()) +
+          " token(s), header names " + std::to_string(names.size()) +
+          " columns");
+    }
+    const auto field = [&](const std::string& name) -> const std::string& {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name) return tokens[i];
+      }
+      throw std::invalid_argument(
+          "parse_tune_rows: file header is missing required column '" + name +
+          "'");
+    };
+    const auto num = [&](const std::string& name) {
+      return std::stod(field(name));
+    };
+    TuneRow r;
+    r.workload.scenario = field("scenario");
+    r.workload.D = static_cast<int>(num("D"));
+    r.workload.n = static_cast<std::uint64_t>(num("n"));
+    r.workload.rc_factor = num("rc");
+    r.workload.velocity_scale = num("velocity");
+    r.workload.settled_stride = static_cast<std::uint64_t>(num("stride"));
+    r.workload.cluster_fraction = num("cluster");
+    r.config.nprocs = static_cast<int>(num("P"));
+    r.config.nthreads = static_cast<int>(num("T"));
+    r.config.blocks_per_proc = static_cast<int>(num("B"));
+    r.config.skin = num("skin");
+    r.config.skin_cap = num("skin_cap");
+    r.config.halo_delta = num("halo_delta") != 0.0;
+    r.config.halo_coalesce = num("halo_coalesce") != 0.0;
+    r.config.overlap = num("overlap") != 0.0;
+    r.config.steal = num("steal") != 0.0;
+    r.config.rebalance = num("rebalance") != 0.0;
+    r.config.reorder = num("reorder") != 0.0;
+    r.simd_width = static_cast<int>(num("simd"));
+    r.iterations = static_cast<std::uint64_t>(num("iters"));
+    r.rebuilds_per_step = num("rebuild_rate");
+    r.imbalance = num("imbalance");
+    r.force_s = num("force_s");
+    r.rebuild_s = num("rebuild_s");
+    r.halo_wire_s = num("halo_wire_s");
+    r.halo_shared_s = num("halo_shared_s");
+    r.halo_wait_s = num("halo_wait_s");
+    r.migrate_s = num("migrate_s");
+    r.rebalance_s = num("rebalance_s");
+    r.other_s = num("other_s");
+    r.step_seconds = num("step_s");
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::string save_tune_rows(const std::string& name,
+                           std::span<const TuneRow> rows) {
+  const std::filesystem::path dir =
+      std::filesystem::path(results_dir()) / "tune";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / name;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_tune_rows: cannot open " + path.string());
+  }
+  out << format_tune_rows(rows);
+  return path.string();
+}
+
+std::vector<TuneRow> load_tune_rows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_tune_rows: cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_tune_rows(os.str());
+}
+
+// --- fitting ---------------------------------------------------------------
+
+namespace {
+
+double phase_target(int phase, const TuneRow& r) {
+  switch (phase) {
+    case FittedModel::kForce: return r.force_s;
+    case FittedModel::kRebuild: return r.rebuild_s;
+    case FittedModel::kHalo: return r.halo_s();
+    case FittedModel::kMigrate: return r.migrate_s;
+    case FittedModel::kRebalance: return r.rebalance_s;
+    case FittedModel::kOther: return r.other_s;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FittedModel fit_model(std::span<const TuneRow> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("fit_model: no measurement rows");
+  }
+  FittedModel m;
+  // Class-rate table: mean rebuild rate and imbalance per (scenario, skin).
+  for (const TuneRow& r : rows) {
+    FittedModel::ClassRates* entry = nullptr;
+    for (auto& c : m.rates) {
+      if (c.scenario == r.workload.scenario &&
+          std::abs(c.skin - r.config.skin) < 1e-12) {
+        entry = &c;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      m.rates.push_back({r.workload.scenario, r.config.skin, 0.0, 0.0});
+      entry = &m.rates.back();
+    }
+    entry->rebuilds_per_step += r.rebuilds_per_step;
+    entry->imbalance += r.imbalance;
+  }
+  for (auto& c : m.rates) {
+    std::size_t count = 0;
+    for (const TuneRow& r : rows) {
+      if (c.scenario == r.workload.scenario &&
+          std::abs(c.skin - r.config.skin) < 1e-12) {
+        ++count;
+      }
+    }
+    if (count > 0) {
+      c.rebuilds_per_step /= static_cast<double>(count);
+      c.imbalance /= static_cast<double>(count);
+    }
+  }
+
+  // Per-phase fits.  Fitting uses each row's own measured rebuild rate;
+  // the class table above only serves prediction of unseen configs.
+  for (int p = 0; p < FittedModel::kPhaseCount; ++p) {
+    std::vector<double> x;
+    std::vector<double> y;
+    std::size_t nrows = 0;
+    for (const TuneRow& r : rows) {
+      const auto f = FittedModel::features(p, r.workload, r.config,
+                                           r.rebuilds_per_step);
+      bool all_zero = true;
+      for (const double v : f) all_zero = all_zero && v == 0.0;
+      if (all_zero) continue;  // phase absent for this config (halo at P=1)
+      x.insert(x.end(), f.begin(), f.end());
+      y.push_back(phase_target(p, r));
+      ++nrows;
+    }
+    if (nrows == 0) continue;  // phase never measured; coefficients stay 0
+    const PrunedPhaseFit fit =
+        fit_phase_pruned(x, nrows, FittedModel::kFeatureCount, y);
+    for (int j = 0; j < FittedModel::kFeatureCount; ++j) {
+      m.beta[static_cast<std::size_t>(p)][static_cast<std::size_t>(j)] =
+          fit.fit.beta[static_cast<std::size_t>(j)];
+    }
+    m.mean_rel_error[static_cast<std::size_t>(p)] = fit.fit.mean_rel_error;
+  }
+  return m;
+}
+
+// --- prediction ------------------------------------------------------------
+
+std::vector<RankedConfig> predict_ranked(
+    const FittedModel& model, const TuneWorkload& w,
+    std::span<const TuneConfig> candidates) {
+  std::vector<RankedConfig> out;
+  out.reserve(candidates.size());
+  for (const TuneConfig& c : candidates) {
+    RankedConfig rc;
+    rc.config = c;
+    rc.predicted = model.predict(w, c);
+    rc.step_seconds = rc.predicted.total();
+    rc.cpu_seconds = rc.step_seconds * c.nprocs * c.nthreads;
+    out.push_back(std::move(rc));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedConfig& a, const RankedConfig& b) {
+                     if (a.step_seconds != b.step_seconds) {
+                       return a.step_seconds < b.step_seconds;
+                     }
+                     if (a.cpu_seconds != b.cpu_seconds) {
+                       return a.cpu_seconds < b.cpu_seconds;
+                     }
+                     return a.config.nprocs * a.config.nthreads <
+                            b.config.nprocs * b.config.nthreads;
+                   });
+  return out;
+}
+
+ServingChoice choose_serving(const FittedModel& model, const TuneWorkload& w,
+                             double skin, bool latency_sensitive,
+                             int max_threads,
+                             double target_quantum_seconds) {
+  ServingChoice choice;
+  double best_score = 0.0;
+  bool have = false;
+  for (int t = 1; t <= std::max(max_threads, 1); ++t) {
+    TuneConfig c;
+    c.nthreads = t;
+    c.skin = skin;
+    const double step = model.predict(w, c).total();
+    // Latency classes buy the fastest step; batch classes buy the
+    // cheapest CPU-seconds, so a thread that speeds nothing up is left to
+    // other jobs.  Ties go to the smaller team.
+    const double score = latency_sensitive ? step : step * t;
+    if (!have || score < best_score * (1.0 - 1e-12)) {
+      best_score = score;
+      choice.inner_threads = t;
+      choice.predicted_step_seconds = step;
+      have = true;
+    }
+  }
+  const double step = std::max(choice.predicted_step_seconds, 1e-9);
+  const double q = target_quantum_seconds / step;
+  choice.quantum_steps = static_cast<std::uint64_t>(
+      std::llround(std::clamp(q, 8.0, 256.0)));
+  return choice;
+}
+
+}  // namespace hdem::perf

@@ -1,0 +1,69 @@
+// Shared command-line group for the closed-loop auto-tuner, so every
+// example exposes the same spelling:
+//
+//   --auto         consult the fitted per-phase scaling model to pick the
+//                  run's knobs (inner threads, quantum, placement) instead
+//                  of taking the hand-set defaults.  The model comes from
+//                  --tune-file when it exists; otherwise a small sweep is
+//                  measured first and saved there, so the *next* run of
+//                  the same program starts from measurements — the closed
+//                  loop.  (default: the HDEM_AUTO environment variable)
+//   --tune-file=P  measurement rows to fit, in the documented plain-text
+//                  format of perf/tune.hpp (default: the HDEM_TUNE_FILE
+//                  environment variable, else results/tune/<use>.tune)
+//
+// --auto only ever *selects* knobs that could equally be passed
+// explicitly; it never perturbs trajectories (the sim_server --verify and
+// fig15 identity gates enforce this).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "perf/report.hpp"
+#include "util/cli.hpp"
+
+namespace hdem {
+
+// HDEM_AUTO lets whole test suites and CI legs opt in without touching
+// their flags (the same pattern as HDEM_SKIN / HDEM_SHARED_HALO).
+inline bool auto_env_default() {
+  const char* env = std::getenv("HDEM_AUTO");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline std::string tune_file_env_default() {
+  const char* env = std::getenv("HDEM_TUNE_FILE");
+  return env != nullptr ? env : "";
+}
+
+struct TuneCliOptions {
+  bool auto_mode = false;
+  std::string tune_file;  // empty: derive from `use` via tune_file_path()
+
+  // Effective tune-file path for a given use ("serving", "hybrid", ...).
+  std::string tune_file_path(const std::string& use) const {
+    if (!tune_file.empty()) return tune_file;
+    return (std::filesystem::path(perf::results_dir()) / "tune" /
+            (use + ".tune"))
+        .string();
+  }
+};
+
+inline TuneCliOptions declare_tune_options(Cli& cli) {
+  TuneCliOptions o;
+  o.auto_mode =
+      cli.flag("auto",
+               "pick knobs from the fitted per-phase scaling model; sweeps "
+               "and saves --tune-file first when it does not exist yet (env "
+               "default HDEM_AUTO)") ||
+      auto_env_default();
+  o.tune_file = cli.str(
+      "tune-file", tune_file_env_default(),
+      "measurement rows for --auto, in the documented plain-text tune "
+      "format (env default HDEM_TUNE_FILE, else results/tune/<use>.tune)");
+  return o;
+}
+
+}  // namespace hdem

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "perf/machine.hpp"
 #include "perf/measure.hpp"
 #include "perf/paper_data.hpp"
@@ -66,6 +68,30 @@ TEST(Calibrate, GapScaleExponents) {
               1e-12);
   // Never scales down.
   EXPECT_DOUBLE_EQ(calibration_gap_scale(random_run, 10.0), 1.0);
+}
+
+// A degenerate observation — an empty measurement window (zero counts) or
+// a non-positive/non-finite target — must be rejected instead of silently
+// fitting NaN/zero constants.
+TEST(Calibrate, RejectsDegenerateObservations) {
+  const MachineSpec base = generic_host();
+  CalibrationObservation good;
+  good.run.n_global = 1000;
+  good.run.iterations = 1;
+  good.run.agg.force_evals = 3000;
+  good.run.agg.position_updates = 1000;
+  good.paper_seconds = 1.0;
+
+  std::vector<CalibrationObservation> obs(3, good);
+  obs[1].run.agg.force_evals = 0;
+  obs[1].run.agg.position_updates = 0;
+  EXPECT_THROW(calibrate(base, obs, 1e6), std::invalid_argument);
+
+  obs = {good, good, good};
+  obs[2].paper_seconds = 0.0;
+  EXPECT_THROW(calibrate(base, obs, 1e6), std::invalid_argument);
+  obs[2].paper_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(calibrate(base, obs, 1e6), std::invalid_argument);
 }
 
 TEST(Calibrate, RejectsBadInputs) {

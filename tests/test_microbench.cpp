@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace hdem::perf {
 namespace {
 
@@ -35,6 +37,22 @@ TEST(Microbench, FormatMentionsUnits) {
   const std::string s = format(o);
   EXPECT_NE(s.find("fork_join"), std::string::npos);
   EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(Microbench, TinyRepetitionWindowsStayMeasurable) {
+  // One repetition undercuts the clock resolution on a fast host; the
+  // doubling timing window must still produce positive, finite
+  // per-episode costs (a zero here used to become NaN in downstream
+  // fitted constants).
+  const auto o = measure_sync_overheads(2, 1);
+  for (const double v :
+       {o.fork_join, o.parallel_for, o.barrier, o.critical, o.atomic_add}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  const auto k = measure_kernel_throughput(64, 1);
+  EXPECT_GT(k.ns_per_link_scalar, 0.0);
+  EXPECT_TRUE(std::isfinite(k.ns_per_link_simd));
 }
 
 TEST(Microbench, AtomicCheaperThanCritical) {
